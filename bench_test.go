@@ -1,0 +1,631 @@
+package psk
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// the ablation and paradigm-comparison studies DESIGN.md calls out
+// (E10, E11). Each benchmark regenerates the corresponding artifact
+// through internal/experiments and reports domain metrics alongside
+// time/allocs, so `go test -bench=. -benchmem` reproduces the whole
+// evaluation. EXPERIMENTS.md records paper-vs-measured values.
+
+import (
+	"testing"
+
+	"psk/internal/core"
+	"psk/internal/dataset"
+	"psk/internal/experiments"
+	"psk/internal/generalize"
+	"psk/internal/lattice"
+	"psk/internal/search"
+	"psk/internal/table"
+)
+
+// BenchmarkTable1MotivatingAttack regenerates the Section 2 attack
+// (Tables 1-2): the intruder links the external list and learns Sam's
+// and Eric's diagnosis.
+func BenchmarkTable1MotivatingAttack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunMotivatingAttack()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Summary.AttributeDisclosed != 2 {
+			b.Fatalf("attribute disclosures = %d, want 2", res.Summary.AttributeDisclosed)
+		}
+	}
+	b.ReportMetric(2, "disclosures")
+}
+
+// BenchmarkTable3PSensitivity regenerates the Table 3 analysis:
+// 3-anonymous, 1-sensitive; 2-sensitive after the paper's edit.
+func BenchmarkTable3PSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable3Sensitivity()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Sensitivity != 1 || res.FixedSensitivity != 2 {
+			b.Fatalf("sensitivity = %d/%d, want 1/2", res.Sensitivity, res.FixedSensitivity)
+		}
+	}
+}
+
+// BenchmarkFigure1Hierarchies regenerates the Figure 1 DGH/VGH
+// renderings for ZipCode and Sex.
+func BenchmarkFigure1Hierarchies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.ZipCode.Levels) != 3 || len(res.Sex.Levels) != 2 {
+			b.Fatal("wrong hierarchy shapes")
+		}
+	}
+}
+
+// BenchmarkFigure2Lattice regenerates the Figure 2 lattice (6 nodes,
+// height 3).
+func BenchmarkFigure2Lattice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Size != 6 || res.Height != 3 {
+			b.Fatalf("lattice = %d/%d", res.Size, res.Height)
+		}
+	}
+}
+
+// BenchmarkFigure3SuppressionCounts regenerates Figure 3's per-node
+// counts of tuples failing 3-anonymity (10, 7, 7, 2, 0, 0).
+func BenchmarkFigure3SuppressionCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := 0
+		for _, c := range res.Counts {
+			total += c
+		}
+		if total != 26 { // 10+7+7+2+0+0
+			b.Fatalf("count total = %d, want 26", total)
+		}
+	}
+}
+
+// BenchmarkTable4MinimalGeneralizations regenerates Table 4: the
+// 3-minimal generalizations for TS = 0..10.
+func BenchmarkTable4MinimalGeneralizations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 11 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkTables5and6FrequencySets regenerates Tables 5-6 and the
+// maxGroups walk-through (300/100/50/25 for p = 2..5).
+func BenchmarkTables5and6FrequencySets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunExample1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MaxGroups[5] != 25 {
+			b.Fatalf("maxGroups(5) = %d, want 25", res.MaxGroups[5])
+		}
+	}
+}
+
+// BenchmarkTable7AdultHierarchies regenerates Table 7 and the Section 4
+// lattice shape (96 nodes, height 9).
+func BenchmarkTable7AdultHierarchies(b *testing.B) {
+	im, err := dataset.Generate(4000, 2006)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable7(im)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.LatticeSize != 96 || res.Height != 9 {
+			b.Fatalf("lattice = %d/%d", res.LatticeSize, res.Height)
+		}
+	}
+}
+
+// BenchmarkTable8AttributeDisclosures regenerates the paper's main
+// experiment: k-minimal Samarati maskings of Adult samples (n = 400,
+// 4000; k = 2, 3) and their attribute-disclosure counts.
+func BenchmarkTable8AttributeDisclosures(b *testing.B) {
+	src, err := dataset.Generate(30000, 2006)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var last experiments.Table8Result
+	for i := 0; i < b.N; i++ {
+		last, err = experiments.RunTable8(experiments.Table8Config{
+			Source:     src,
+			SampleSeed: 17,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	positive := 0
+	for _, r := range last.Rows {
+		if r.Disclosures > 0 {
+			positive++
+		}
+	}
+	b.ReportMetric(float64(positive), "cells-with-disclosures")
+}
+
+// BenchmarkAblationConditions measures Algorithm 2's necessary
+// conditions against the basic Algorithm 1 inside a p-k-minimal search
+// (the paper's future-work comparison, E10).
+func BenchmarkAblationConditions(b *testing.B) {
+	src, err := dataset.Generate(30000, 2006)
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := src.Sample(400, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs, err := dataset.Hierarchies()
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := search.Config{
+		QIs:          dataset.QIs(),
+		Confidential: dataset.Confidential(),
+		Hierarchies:  hs,
+		K:            3,
+		P:            2,
+		MaxSuppress:  4,
+	}
+	b.Run("WithConditions", func(b *testing.B) {
+		cfg := base
+		cfg.UseConditions = true
+		benchSearch(b, im, cfg)
+	})
+	b.Run("WithoutConditions", func(b *testing.B) {
+		cfg := base
+		cfg.UseConditions = false
+		benchSearch(b, im, cfg)
+	})
+}
+
+// BenchmarkCheckAlgorithms compares Algorithm 1 (basic) with Algorithm
+// 2 (improved) as standalone property tests on a masked Adult sample —
+// the per-check version of the E10 ablation. The improved test's win
+// comes from rejecting infeasible tables before the group scan.
+func BenchmarkCheckAlgorithms(b *testing.B) {
+	src, err := dataset.Generate(30000, 2006)
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := src.Sample(4000, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qis := dataset.QIs()
+	conf := dataset.Confidential()
+	// Precompute bounds once, as Theorems 1-2 license.
+	bounds, err := core.ComputeBounds(im, conf, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Algorithm1Basic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.CheckBasic(im, qis, conf, 2, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Algorithm2Improved", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.CheckWithBounds(im, qis, conf, 2, 3, bounds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSearchStrategies compares the three lattice searches on the
+// same Adult workload (DESIGN.md ablation 3).
+func BenchmarkSearchStrategies(b *testing.B) {
+	src, err := dataset.Generate(30000, 2006)
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := src.Sample(1000, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs, err := dataset.Hierarchies()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := search.Config{
+		QIs:           dataset.QIs(),
+		Confidential:  dataset.Confidential(),
+		Hierarchies:   hs,
+		K:             3,
+		P:             1,
+		MaxSuppress:   10,
+		UseConditions: true,
+	}
+	b.Run("Samarati", func(b *testing.B) { benchSearch(b, im, cfg) })
+	b.Run("BottomUp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := search.BottomUp(im, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Minimal) == 0 {
+				b.Fatal("found nothing")
+			}
+		}
+	})
+	b.Run("Exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := search.Exhaustive(im, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Minimal) == 0 {
+				b.Fatal("found nothing")
+			}
+		}
+	})
+}
+
+// BenchmarkMondrianVsFullDomain compares the two recoding paradigms at
+// equal k on the same sample (E11): Mondrian should produce far lower
+// discernibility.
+func BenchmarkMondrianVsFullDomain(b *testing.B) {
+	src, err := dataset.Generate(30000, 2006)
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := src.Sample(2000, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs, err := dataset.Hierarchies()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("FullDomain", func(b *testing.B) {
+		cfg := search.Config{
+			QIs:           dataset.QIs(),
+			Confidential:  dataset.Confidential(),
+			Hierarchies:   hs,
+			K:             5,
+			P:             1,
+			MaxSuppress:   40,
+			UseConditions: true,
+		}
+		benchSearch(b, im, cfg)
+	})
+	b.Run("Mondrian", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := search.Mondrian(im, search.MondrianConfig{
+				QIs: dataset.QIs(), K: 5, P: 1, Strict: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Partitions == 0 {
+				b.Fatal("no partitions")
+			}
+		}
+	})
+}
+
+// BenchmarkGroupBy exercises the table engine's group-by on Adult-sized
+// data (DESIGN.md ablation 4's hash-based frequency sets).
+func BenchmarkGroupBy(b *testing.B) {
+	im, err := dataset.Generate(10000, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		groups, err := im.GroupBy(dataset.QIs()...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(groups) == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}
+
+func benchSearch(b *testing.B, im *table.Table, cfg search.Config) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := search.Samarati(im, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Found {
+			b.Fatal("found nothing")
+		}
+	}
+}
+
+// BenchmarkGreedyCluster measures the clustering generator (the
+// follow-up-work algorithm) on an Adult sample at k=4, p=2.
+func BenchmarkGreedyCluster(b *testing.B) {
+	src, err := dataset.Generate(30000, 2006)
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := src.Sample(1000, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := search.GreedyCluster(im, search.ClusterConfig{
+			QIs: dataset.QIs(), Confidential: dataset.Confidential(), K: 4, P: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Clusters == 0 {
+			b.Fatal("no clusters")
+		}
+	}
+}
+
+// BenchmarkAllMinimal compares predictive tagging against the
+// exhaustive scan when enumerating the complete p-k-minimal antichain.
+func BenchmarkAllMinimal(b *testing.B) {
+	src, err := dataset.Generate(30000, 2006)
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := src.Sample(500, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs, err := dataset.Hierarchies()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := search.Config{
+		QIs:           dataset.QIs(),
+		Confidential:  dataset.Confidential(),
+		Hierarchies:   hs,
+		K:             3,
+		P:             2,
+		MaxSuppress:   10,
+		UseConditions: true,
+	}
+	b.Run("PredictiveTagging", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := search.AllMinimal(im, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Minimal) == 0 {
+				b.Fatal("found nothing")
+			}
+		}
+	})
+	b.Run("Exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := search.Exhaustive(im, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Minimal) == 0 {
+				b.Fatal("found nothing")
+			}
+		}
+	})
+}
+
+// BenchmarkLocalVsTupleSuppression compares the two suppression styles
+// at the same lattice node.
+func BenchmarkLocalVsTupleSuppression(b *testing.B) {
+	src, err := dataset.Generate(30000, 2006)
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := src.Sample(2000, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs, err := dataset.Hierarchies()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := generalize.NewMasker(dataset.QIs(), hs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	node := lattice.Node{1, 1, 1, 0}
+	g, err := m.Apply(im, node)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("TupleSuppression", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := m.Suppress(g, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("CellSuppression", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := m.SuppressCells(g, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkIncognitoVsSamarati compares the subset-pruned complete
+// search against binary search on the Adult lattice.
+func BenchmarkIncognitoVsSamarati(b *testing.B) {
+	src, err := dataset.Generate(30000, 2006)
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := src.Sample(500, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs, err := dataset.Hierarchies()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := search.Config{
+		QIs:           dataset.QIs(),
+		Confidential:  dataset.Confidential(),
+		Hierarchies:   hs,
+		K:             3,
+		P:             2,
+		MaxSuppress:   10,
+		UseConditions: true,
+	}
+	b.Run("Incognito", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := search.Incognito(im, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Minimal) == 0 {
+				b.Fatal("found nothing")
+			}
+		}
+	})
+	b.Run("Samarati", func(b *testing.B) { benchSearch(b, im, cfg) })
+}
+
+// BenchmarkAnatomize measures the bucketization release on an Adult
+// sample (MaritalStatus as the sensitive attribute; Pay is too skewed
+// to be anatomy-eligible, which EXPERIMENTS.md discusses).
+func BenchmarkAnatomize(b *testing.B) {
+	src, err := dataset.Generate(30000, 2006)
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := src.Sample(2000, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := search.Anatomize(im, []string{dataset.Age, dataset.Race, dataset.Sex}, dataset.MaritalStatus, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Groups == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}
+
+// BenchmarkMaskingMethods regenerates the E14 masking-method
+// comparison (Section 2's survey, measured).
+func BenchmarkMaskingMethods(b *testing.B) {
+	src, err := dataset.Generate(30000, 2006)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunMethods(1000, 3, src, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) < 5 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkGroupByStrategies compares the hash-based group-by with the
+// sort-based alternative (DESIGN.md ablation 4).
+func BenchmarkGroupByStrategies(b *testing.B) {
+	im, err := dataset.Generate(10000, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Hash", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := im.GroupBy(dataset.QIs()...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Sort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := im.GroupBySorted(dataset.QIs()...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEarlyExitVsFullScan compares the early-exit property check
+// (CheckBasic stops at the first violating group) with the
+// full-reporting scan (Violations visits every group) on a table that
+// violates early (DESIGN.md ablation 2).
+func BenchmarkEarlyExitVsFullScan(b *testing.B) {
+	im, err := dataset.Generate(4000, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qis := dataset.QIs()
+	conf := dataset.Confidential()
+	b.Run("EarlyExit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.CheckBasic(im, qis, conf, 2, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("FullScan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Violations(im, qis, conf, 2, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDisclosureDecay regenerates the E15 sweep: attribute
+// disclosures of k-minimal maskings as k grows.
+func BenchmarkDisclosureDecay(b *testing.B) {
+	src, err := dataset.Generate(30000, 2006)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunDisclosureDecay(1000, []int{2, 4, 8}, src, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Disclosures) != 3 {
+			b.Fatal("short series")
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Command pskanon anonymizes a CSV file to p-sensitive k-anonymity
+// using full-domain generalization with suppression (the paper's
+// Algorithm 3) and writes the masked microdata plus a report.
+//
+// Usage:
+//
+//	pskanon -in data.csv -job job.json -out masked.csv [-algorithm samarati]
+//
+// The job file (see internal/config) names the quasi-identifiers,
+// confidential attributes, k, p, the suppression threshold, and the
+// generalization hierarchy for every quasi-identifier.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"psk/internal/cli"
+)
+
+func main() {
+	if err := cli.Anon(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pskanon:", err)
+		os.Exit(1)
+	}
+}

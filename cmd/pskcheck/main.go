@@ -1,0 +1,25 @@
+// Command pskcheck verifies privacy properties of a (masked) CSV file:
+// k-anonymity, p-sensitive k-anonymity (with the paper's necessary
+// conditions reported), the achievable sensitivity, re-identification
+// risk and attribute disclosure counts. It can also run ad-hoc SQL
+// against the file, since the paper defines its checks in SQL.
+//
+// Usage:
+//
+//	pskcheck -in masked.csv -qi Age,ZipCode,Sex -conf Illness -k 3 -p 2 [-violations]
+//	pskcheck -in masked.csv -sql "SELECT COUNT(*) FROM T GROUP BY Sex"
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"psk/internal/cli"
+)
+
+func main() {
+	if err := cli.Check(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pskcheck:", err)
+		os.Exit(1)
+	}
+}

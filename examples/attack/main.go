@@ -1,0 +1,117 @@
+// Attack: quantify disclosure risk at scale. A marketing firm (the
+// paper's motivating intruder) holds an identified list covering part
+// of the population and links it against a published census release.
+// The example sweeps p over {1, 2, 3} at fixed k and reports how many
+// individuals suffer attribute disclosure under each release, showing
+// the marginal value of the p parameter.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"psk"
+	"psk/internal/dataset"
+)
+
+func main() {
+	pool, err := dataset.Generate(30000, 2006)
+	if err != nil {
+		log.Fatal(err)
+	}
+	im, err := pool.Sample(2000, 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs, err := dataset.Hierarchies()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The intruder's list: 500 of the 2000 individuals, with synthetic
+	// names and ground-level key attributes.
+	known, err := im.Sample(500, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	external, err := withNames(known)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	qis := dataset.QIs()
+	conf := []string{dataset.Pay, dataset.TaxPeriod}
+
+	fmt.Printf("population: %d records; intruder knows %d identities\n\n",
+		im.NumRows(), external.NumRows())
+	fmt.Printf("%-28s  %-20s  %10s  %12s  %12s\n",
+		"release", "node", "suppressed", "identified", "attr leaks")
+
+	k := 4
+	for p := 1; p <= 3; p++ {
+		res, err := psk.Anonymize(im, psk.Config{
+			QuasiIdentifiers: qis,
+			Confidential:     conf,
+			Hierarchies:      hs,
+			K:                k,
+			P:                p,
+			MaxSuppress:      60,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("%d-sensitive %d-anonymity", p, k)
+		if !res.Found {
+			maxP, err := psk.MaxP(im, conf)
+			if err == nil && p > maxP {
+				// Necessary condition 1: Pay has only two distinct
+				// values, so no masking whatsoever can reach p = 3.
+				fmt.Printf("%-28s  infeasible: p exceeds maxP = %d (necessary condition 1)\n", label, maxP)
+			} else {
+				fmt.Printf("%-28s  no masking satisfies the property within budget\n", label)
+			}
+			continue
+		}
+		in := &psk.Intruder{
+			External:    external,
+			IDAttr:      "Name",
+			QIs:         qis,
+			Hierarchies: hs,
+			Node:        res.Node,
+		}
+		links, err := in.Attack(res.Masked, conf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum := psk.SummarizeAttack(links)
+		fmt.Printf("%-28s  %-20s  %10d  %12d  %12d\n",
+			label, res.Node.String(), res.Suppressed, sum.UniquelyIdentified, sum.AttributeDisclosed)
+	}
+
+	fmt.Println("\nAttribute leaks shrink as p grows: every QI-group is forced to")
+	fmt.Println("contain at least p distinct values of each confidential attribute,")
+	fmt.Println("so linking a person to a group no longer pins down their value.")
+}
+
+// withNames attaches a synthetic Name column (Person-0001, ...) to the
+// intruder's known sub-population.
+func withNames(t *psk.Table) (*psk.Table, error) {
+	fields := append([]psk.Field{{Name: "Name", Type: psk.String}}, t.Schema().Fields...)
+	sch, err := psk.NewSchema(fields...)
+	if err != nil {
+		return nil, err
+	}
+	b, err := psk.NewBuilder(sch)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < t.NumRows(); r++ {
+		row, err := t.Row(r)
+		if err != nil {
+			return nil, err
+		}
+		rec := append([]psk.Value{psk.SV(fmt.Sprintf("Person-%04d", r))}, row...)
+		b.Append(rec...)
+	}
+	return b.Build()
+}

@@ -1,0 +1,3 @@
+module psk
+
+go 1.22

@@ -1,0 +1,269 @@
+// Package cli implements the command-line tools as testable functions:
+// each binary under cmd/ is a thin wrapper over one entry point here.
+// All entry points take an argument vector and explicit output streams
+// and return an error instead of exiting, so the full CLI surface is
+// covered by ordinary unit tests.
+package cli
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"psk"
+	"psk/internal/config"
+	"psk/internal/dataset"
+)
+
+// Anon implements pskanon: anonymize a CSV per a JSON job description.
+func Anon(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pskanon", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in        = fs.String("in", "", "input CSV file (header row required)")
+		jobPath   = fs.String("job", "", "anonymization job JSON")
+		out       = fs.String("out", "", "output CSV file (default: stdout)")
+		algorithm = fs.String("algorithm", "samarati", "search algorithm: samarati, bottomup, exhaustive")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *jobPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-in and -job are required")
+	}
+
+	job, err := config.Load(*jobPath)
+	if err != nil {
+		return err
+	}
+	header, err := csvHeader(*in)
+	if err != nil {
+		return err
+	}
+	schema, err := job.Schema(header)
+	if err != nil {
+		return err
+	}
+	data, err := psk.ReadCSVFile(*in, &schema)
+	if err != nil {
+		return err
+	}
+	hs, err := job.BuildHierarchies()
+	if err != nil {
+		return err
+	}
+
+	cfg := psk.Config{
+		QuasiIdentifiers: job.QuasiIdentifiers,
+		Confidential:     job.Confidential,
+		Hierarchies:      hs,
+		K:                job.K,
+		P:                job.P,
+		MaxSuppress:      job.MaxSuppress,
+	}
+	switch *algorithm {
+	case "samarati":
+		cfg.Algorithm = psk.AlgorithmSamarati
+	case "bottomup":
+		cfg.Algorithm = psk.AlgorithmBottomUp
+	case "exhaustive":
+		cfg.Algorithm = psk.AlgorithmExhaustive
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algorithm)
+	}
+
+	res, err := psk.Anonymize(data, cfg)
+	if err != nil {
+		return err
+	}
+	if !res.Found {
+		maxP, err := psk.MaxP(data, job.Confidential)
+		if err == nil && job.P > maxP {
+			return fmt.Errorf("no solution: p = %d exceeds maxP = %d (necessary condition 1)", job.P, maxP)
+		}
+		return fmt.Errorf("no generalization satisfies %d-sensitive %d-anonymity within %d suppressions",
+			job.P, job.K, job.MaxSuppress)
+	}
+
+	fmt.Fprintf(stderr, "node: %s (height %d)\n", res.Node, res.Node.Height())
+	fmt.Fprintf(stderr, "rows: %d released, %d suppressed\n", res.Masked.NumRows(), res.Suppressed)
+	if rep, err := psk.MeasureUtility(data, res.Masked, cfg, res.Node); err == nil {
+		fmt.Fprintf(stderr, "utility: precision %.3f, discernibility %d, avg group ratio %.2f\n",
+			rep.Precision, rep.Discernibility, rep.AvgGroupRatio)
+	}
+	if len(res.AllMinimal) > 1 {
+		fmt.Fprintf(stderr, "all minimal nodes: %v\n", res.AllMinimal)
+	}
+
+	if *out == "" {
+		return res.Masked.WriteCSV(stdout)
+	}
+	return res.Masked.WriteCSVFile(*out)
+}
+
+// Check implements pskcheck: verify privacy properties or run SQL.
+func Check(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pskcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in   = fs.String("in", "", "input CSV file (header row required)")
+		qi   = fs.String("qi", "", "comma-separated quasi-identifier attributes")
+		conf = fs.String("conf", "", "comma-separated confidential attributes")
+		k    = fs.Int("k", 2, "k-anonymity parameter")
+		p    = fs.Int("p", 2, "p-sensitivity parameter")
+		sql  = fs.String("sql", "", "run this SQL query against the file (table name: T) and exit")
+		verb = fs.Bool("violations", false, "list each violating QI-group")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		fs.Usage()
+		return fmt.Errorf("-in is required")
+	}
+	data, err := psk.ReadCSVFile(*in, nil)
+	if err != nil {
+		return err
+	}
+
+	if *sql != "" {
+		out, err := psk.Query(map[string]*psk.Table{"T": data}, *sql)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, out.Format(-1))
+		return nil
+	}
+
+	qis := splitList(*qi)
+	confs := splitList(*conf)
+	if len(qis) == 0 {
+		return fmt.Errorf("-qi is required (or use -sql)")
+	}
+
+	fmt.Fprintf(stdout, "rows: %d\n", data.NumRows())
+	ok, err := psk.IsKAnonymous(data, qis, *k)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%d-anonymity: %v\n", *k, ok)
+
+	riskM, err := psk.MeasureRisk(data, qis)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "risk: prosecutor max %.3f, marketer %.3f, %d unique records\n",
+		riskM.ProsecutorMax, riskM.MarketerRisk, riskM.UniqueRecords)
+
+	if len(confs) == 0 {
+		return nil
+	}
+
+	maxP, err := psk.MaxP(data, confs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "maxP (necessary condition 1): %d\n", maxP)
+	if *p <= maxP {
+		mg, err := psk.MaxGroups(data, confs, *p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "maxGroups for p=%d (necessary condition 2): %d\n", *p, mg)
+	}
+
+	s, err := psk.Sensitivity(data, qis, confs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "sensitivity (largest satisfied p): %d\n", s)
+
+	psOK, err := psk.IsPSensitiveKAnonymous(data, qis, confs, *p, *k)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%d-sensitive %d-anonymity: %v\n", *p, *k, psOK)
+
+	disc, err := psk.AttributeDisclosures(data, qis, confs, *p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "attribute disclosures at p=%d (group x attribute pairs): %d\n", *p, disc)
+
+	if *verb {
+		vs, err := psk.ListViolations(data, qis, confs, *p, *k)
+		if err != nil {
+			return err
+		}
+		for _, v := range vs {
+			why := ""
+			if v.TooSmall {
+				why = fmt.Sprintf("size %d < k", v.Size)
+			}
+			for attr, d := range v.LowDiversity {
+				if why != "" {
+					why += "; "
+				}
+				why += fmt.Sprintf("%s has %d < p distinct", attr, d)
+			}
+			fmt.Fprintf(stdout, "  violation [%s]: %s\n", v.KeyString(), why)
+		}
+	}
+	return nil
+}
+
+// Gen implements adultgen: emit synthetic Adult microdata.
+func Gen(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("adultgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		n    = fs.Int("n", 4000, "number of records")
+		seed = fs.Int64("seed", 2006, "generator seed")
+		out  = fs.String("out", "", "output CSV file (default: stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tbl, err := dataset.Generate(*n, *seed)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		return tbl.WriteCSV(stdout)
+	}
+	if err := tbl.WriteCSVFile(*out); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %d records to %s\n", tbl.NumRows(), *out)
+	return nil
+}
+
+func csvHeader(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.TrimLeadingSpace = true
+	return r.Read()
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

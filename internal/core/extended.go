@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"psk/internal/hierarchy"
+	"psk/internal/table"
+)
+
+// Extended p-sensitivity (in the spirit of Campan and Truta's follow-up
+// "Extended P-Sensitive K-Anonymity"): plain p-sensitivity counts
+// distinct confidential *values*, which leaves the similarity attack
+// open — a group holding {Colon Cancer, Lung Cancer, Stomach Cancer}
+// has three distinct values, yet an intruder still learns "cancer".
+// The extended property equips the confidential attribute with its own
+// value hierarchy and requires the group's values to remain at least
+// p-diverse after generalization to every level below the root: the
+// values must come from p different categories at every granularity at
+// which categories are meaningful.
+
+// ExtendedConfig configures the extended check for one confidential
+// attribute.
+type ExtendedConfig struct {
+	// Hierarchy is the value generalization hierarchy over the
+	// confidential attribute.
+	Hierarchy hierarchy.Hierarchy
+	// MaxLevel is the highest hierarchy level at which diversity is
+	// still required; 0 means "ground values only" (plain
+	// p-sensitivity). Levels above MaxLevel — typically the root, where
+	// everything collapses to one label — are exempt. Negative values
+	// default to Hierarchy.Height() - 1.
+	MaxLevel int
+}
+
+func (c ExtendedConfig) maxLevel() int {
+	if c.MaxLevel >= 0 {
+		return c.MaxLevel
+	}
+	return c.Hierarchy.Height() - 1
+}
+
+// CheckExtended reports whether the table satisfies extended
+// p-sensitive k-anonymity for the given confidential attribute: it is
+// k-anonymous, and every QI-group keeps at least p distinct labels at
+// every hierarchy level from 0 through MaxLevel.
+func CheckExtended(t *table.Table, qis []string, confidential string, p, k int, cfg ExtendedConfig) (bool, error) {
+	if err := validatePK(p, k); err != nil {
+		return false, err
+	}
+	if cfg.Hierarchy == nil {
+		return false, fmt.Errorf("core: extended check requires a confidential-attribute hierarchy")
+	}
+	if cfg.Hierarchy.Attribute() != confidential {
+		return false, fmt.Errorf("core: hierarchy is for %q, confidential attribute is %q",
+			cfg.Hierarchy.Attribute(), confidential)
+	}
+	maxLevel := cfg.maxLevel()
+	if maxLevel > cfg.Hierarchy.Height() {
+		return false, fmt.Errorf("core: MaxLevel %d exceeds hierarchy height %d", maxLevel, cfg.Hierarchy.Height())
+	}
+	col, err := t.Column(confidential)
+	if err != nil {
+		return false, err
+	}
+	groups, err := t.GroupBy(qis...)
+	if err != nil {
+		return false, err
+	}
+	for _, g := range groups {
+		if g.Size() < k {
+			return false, nil
+		}
+	}
+	for _, g := range groups {
+		for lvl := 0; lvl <= maxLevel; lvl++ {
+			seen := make(map[string]struct{}, g.Size())
+			for _, r := range g.Rows {
+				label, err := cfg.Hierarchy.Generalize(col.Value(r).Str(), lvl)
+				if err != nil {
+					return false, fmt.Errorf("core: extended check: %w", err)
+				}
+				seen[label] = struct{}{}
+			}
+			if len(seen) < p {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// ExtendedSensitivity computes the largest p for which CheckExtended
+// would succeed (ignoring the k side condition): the minimum, over
+// QI-groups and hierarchy levels 0..MaxLevel, of the distinct label
+// count. An empty table has extended sensitivity 0.
+func ExtendedSensitivity(t *table.Table, qis []string, confidential string, cfg ExtendedConfig) (int, error) {
+	if cfg.Hierarchy == nil {
+		return 0, fmt.Errorf("core: extended sensitivity requires a confidential-attribute hierarchy")
+	}
+	if t.NumRows() == 0 {
+		return 0, nil
+	}
+	col, err := t.Column(confidential)
+	if err != nil {
+		return 0, err
+	}
+	groups, err := t.GroupBy(qis...)
+	if err != nil {
+		return 0, err
+	}
+	maxLevel := cfg.maxLevel()
+	min := -1
+	for _, g := range groups {
+		for lvl := 0; lvl <= maxLevel; lvl++ {
+			seen := make(map[string]struct{}, g.Size())
+			for _, r := range g.Rows {
+				label, err := cfg.Hierarchy.Generalize(col.Value(r).Str(), lvl)
+				if err != nil {
+					return 0, fmt.Errorf("core: extended sensitivity: %w", err)
+				}
+				seen[label] = struct{}{}
+			}
+			if min == -1 || len(seen) < min {
+				min = len(seen)
+			}
+		}
+	}
+	return min, nil
+}

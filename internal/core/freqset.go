@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"psk/internal/table"
+)
+
+// FrequencySet returns the descending ordered frequency set f_i of the
+// attribute (Definition 4): the counts of each distinct value, largest
+// first. Ties are broken by value order so the result is deterministic.
+func FrequencySet(t *table.Table, attr string) ([]int, error) {
+	vc, err := t.ValueCounts(attr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(vc))
+	for i, c := range vc {
+		out[i] = c.Count
+	}
+	return out, nil
+}
+
+// Cumulative converts a descending frequency set f into its cumulative
+// form cf: cf[i] = f[0] + ... + f[i].
+func Cumulative(freq []int) []int {
+	out := make([]int, len(freq))
+	sum := 0
+	for i, f := range freq {
+		sum += f
+		out[i] = sum
+	}
+	return out
+}
+
+// CFMax computes the paper's cf_i = max_j cf_i^j for the confidential
+// attributes: element i (0-based here, 1-based in the paper) is the
+// maximum over all confidential attributes of the cumulative frequency
+// of their i+1 most common values. Its length is min_j s_j, the number
+// of indices at which every attribute still has a defined cf value.
+func CFMax(t *table.Table, confidential []string) ([]int, error) {
+	if len(confidential) == 0 {
+		return nil, fmt.Errorf("core: no confidential attributes")
+	}
+	var cfs [][]int
+	minLen := -1
+	for _, attr := range confidential {
+		f, err := FrequencySet(t, attr)
+		if err != nil {
+			return nil, err
+		}
+		cf := Cumulative(f)
+		cfs = append(cfs, cf)
+		if minLen == -1 || len(cf) < minLen {
+			minLen = len(cf)
+		}
+	}
+	out := make([]int, minLen)
+	for i := 0; i < minLen; i++ {
+		max := 0
+		for _, cf := range cfs {
+			if cf[i] > max {
+				max = cf[i]
+			}
+		}
+		out[i] = max
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+// Package core implements the paper's primary contribution: the
+// p-sensitive k-anonymity privacy model.
+//
+// It provides the k-anonymity check (Definition 1), the p-sensitive
+// k-anonymity check (Definition 2) in both the basic form of Algorithm 1
+// and the improved form of Algorithm 2, the frequency-set machinery of
+// Definition 4, the two necessary conditions (maxP, maxGroups), and the
+// attribute-disclosure measurements behind Table 8. Theorems 1 and 2 of
+// the paper are what justify the Bounds type: bounds computed once on
+// the initial microdata remain valid for every masked microdata derived
+// by generalization and suppression.
+package core
+
+import (
+	"fmt"
+
+	"psk/internal/table"
+)
+
+// IsKAnonymous reports whether every combination of quasi-identifier
+// values occurs at least k times (Definition 1). An empty table is
+// trivially k-anonymous.
+func IsKAnonymous(t *table.Table, qis []string, k int) (bool, error) {
+	if k < 1 {
+		return false, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	if t.NumRows() == 0 {
+		return true, nil
+	}
+	groups, err := t.GroupBy(qis...)
+	if err != nil {
+		return false, err
+	}
+	for _, g := range groups {
+		if g.Size() < k {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// MinGroupSize returns the size of the smallest QI-group — the largest k
+// for which the table is k-anonymous. An empty table returns 0.
+func MinGroupSize(t *table.Table, qis []string) (int, error) {
+	if t.NumRows() == 0 {
+		return 0, nil
+	}
+	groups, err := t.GroupBy(qis...)
+	if err != nil {
+		return 0, err
+	}
+	min := groups[0].Size()
+	for _, g := range groups[1:] {
+		if g.Size() < min {
+			min = g.Size()
+		}
+	}
+	return min, nil
+}
+
+// TuplesViolatingK counts the tuples belonging to QI-groups smaller than
+// k — the number of tuples suppression would remove (the parenthesized
+// counts of Figure 3).
+func TuplesViolatingK(t *table.Table, qis []string, k int) (int, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	groups, err := t.GroupBy(qis...)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, g := range groups {
+		if g.Size() < k {
+			n += g.Size()
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+
+	"psk/internal/table"
+)
+
+// Reason explains why a p-sensitive k-anonymity check failed, and in
+// particular which of Algorithm 2's gates rejected the table.
+type Reason int
+
+// Check outcomes, ordered by how early Algorithm 2 detects them.
+const (
+	// Satisfied: the table has p-sensitive k-anonymity.
+	Satisfied Reason = iota
+	// FailedCondition1: p exceeds the minimum distinct-value count of
+	// the confidential attributes (Condition 1).
+	FailedCondition1
+	// FailedCondition2: the table has more QI-groups than maxGroups
+	// admits (Condition 2).
+	FailedCondition2
+	// NotKAnonymous: some QI-group is smaller than k.
+	NotKAnonymous
+	// NotPSensitive: some QI-group has fewer than p distinct values for
+	// some confidential attribute.
+	NotPSensitive
+)
+
+// String names the reason.
+func (r Reason) String() string {
+	switch r {
+	case Satisfied:
+		return "satisfied"
+	case FailedCondition1:
+		return "failed necessary condition 1 (p > maxP)"
+	case FailedCondition2:
+		return "failed necessary condition 2 (too many QI-groups)"
+	case NotKAnonymous:
+		return "not k-anonymous"
+	case NotPSensitive:
+		return "not p-sensitive"
+	default:
+		return fmt.Sprintf("reason(%d)", int(r))
+	}
+}
+
+// Result reports the outcome of a p-sensitive k-anonymity check
+// together with the quantities Algorithm 2 computed on the way.
+type Result struct {
+	// Satisfied is true when the table has p-sensitive k-anonymity.
+	Satisfied bool
+	// Reason identifies the first gate that failed (or Satisfied).
+	Reason Reason
+	// MaxP and MaxGroups are the necessary-condition bounds that were in
+	// force (zero when the check skipped them).
+	MaxP      int
+	MaxGroups int
+	// Groups is the number of QI-groups observed (when counted).
+	Groups int
+}
+
+func validatePK(p, k int) error {
+	if k < 2 {
+		return fmt.Errorf("core: k must be >= 2, got %d", k)
+	}
+	if p < 1 {
+		return fmt.Errorf("core: p must be >= 1, got %d", p)
+	}
+	if p > k {
+		return fmt.Errorf("core: p (%d) must be <= k (%d)", p, k)
+	}
+	return nil
+}
+
+// CheckBasic is the paper's Algorithm 1: test k-anonymity with a
+// group-by, then scan every (QI-group, confidential attribute) pair and
+// require at least p distinct values, stopping at the first violation.
+func CheckBasic(t *table.Table, qis, confidential []string, p, k int) (bool, error) {
+	if err := validatePK(p, k); err != nil {
+		return false, err
+	}
+	if len(confidential) == 0 {
+		return false, fmt.Errorf("core: no confidential attributes")
+	}
+	groups, err := t.GroupBy(qis...)
+	if err != nil {
+		return false, err
+	}
+	for _, g := range groups {
+		if g.Size() < k {
+			return false, nil
+		}
+	}
+	for _, g := range groups {
+		for _, attr := range confidential {
+			d, err := t.DistinctInRows(attr, g.Rows)
+			if err != nil {
+				return false, err
+			}
+			if d < p {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Check is the paper's Algorithm 2: evaluate the two necessary
+// conditions as cheap rejection filters before the detailed group scan.
+// Bounds are computed from the table itself; use CheckWithBounds to
+// reuse bounds precomputed on the initial microdata (Theorems 1 and 2).
+func Check(t *table.Table, qis, confidential []string, p, k int) (Result, error) {
+	bounds, err := ComputeBounds(t, confidential, p)
+	if err != nil {
+		return Result{}, err
+	}
+	return CheckWithBounds(t, qis, confidential, p, k, bounds)
+}
+
+// CheckWithBounds is Algorithm 2 with externally supplied bounds. The
+// typical caller computed them once on the initial microdata; Theorems 1
+// and 2 guarantee they remain valid for every masked microdata derived
+// by generalization and suppression.
+func CheckWithBounds(t *table.Table, qis, confidential []string, p, k int, bounds Bounds) (Result, error) {
+	if err := validatePK(p, k); err != nil {
+		return Result{}, err
+	}
+	res := Result{MaxP: bounds.MaxP, MaxGroups: bounds.MaxGroups}
+
+	// First necessary condition.
+	if p > bounds.MaxP {
+		res.Reason = FailedCondition1
+		return res, nil
+	}
+
+	// Second necessary condition.
+	groups, err := t.GroupBy(qis...)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Groups = len(groups)
+	if p >= 2 && len(groups) > bounds.MaxGroups {
+		res.Reason = FailedCondition2
+		return res, nil
+	}
+
+	// k-anonymity.
+	for _, g := range groups {
+		if g.Size() < k {
+			res.Reason = NotKAnonymous
+			return res, nil
+		}
+	}
+
+	// Detailed p-sensitivity scan; only tables passing the two
+	// conditions reach this loop.
+	for _, g := range groups {
+		for _, attr := range confidential {
+			d, err := t.DistinctInRows(attr, g.Rows)
+			if err != nil {
+				return Result{}, err
+			}
+			if d < p {
+				res.Reason = NotPSensitive
+				return res, nil
+			}
+		}
+	}
+	res.Satisfied = true
+	res.Reason = Satisfied
+	return res, nil
+}
+
+// Sensitivity computes the largest p for which the table (with its
+// current QI-grouping) is p-sensitive: the minimum over QI-groups and
+// confidential attributes of the number of distinct values. An empty
+// table has sensitivity 0.
+func Sensitivity(t *table.Table, qis, confidential []string) (int, error) {
+	if len(confidential) == 0 {
+		return 0, fmt.Errorf("core: no confidential attributes")
+	}
+	if t.NumRows() == 0 {
+		return 0, nil
+	}
+	groups, err := t.GroupBy(qis...)
+	if err != nil {
+		return 0, err
+	}
+	min := -1
+	for _, g := range groups {
+		for _, attr := range confidential {
+			d, err := t.DistinctInRows(attr, g.Rows)
+			if err != nil {
+				return 0, err
+			}
+			if min == -1 || d < min {
+				min = d
+			}
+		}
+	}
+	return min, nil
+}
+
+// AttributeDisclosures counts the (QI-group, confidential attribute)
+// pairs with fewer than p distinct values — the "number of attribute
+// disclosures" reported in Table 8 (there with p = 2: groups in which a
+// confidential attribute is constant, so an intruder who links any
+// member learns that attribute's value with certainty).
+func AttributeDisclosures(t *table.Table, qis, confidential []string, p int) (int, error) {
+	if p < 1 {
+		return 0, fmt.Errorf("core: p must be >= 1, got %d", p)
+	}
+	if len(confidential) == 0 {
+		return 0, fmt.Errorf("core: no confidential attributes")
+	}
+	groups, err := t.GroupBy(qis...)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for _, g := range groups {
+		for _, attr := range confidential {
+			d, err := t.DistinctInRows(attr, g.Rows)
+			if err != nil {
+				return 0, err
+			}
+			if d < p {
+				count++
+			}
+		}
+	}
+	return count, nil
+}

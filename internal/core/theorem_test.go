@@ -1,0 +1,248 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"psk/internal/table"
+)
+
+// microdata is a quick generator for random initial microdata with two
+// QI columns and two confidential columns.
+type microdata struct {
+	tbl *table.Table
+}
+
+func (microdata) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(size*4+1)
+	sch := table.MustSchema(
+		table.Field{Name: "K1", Type: table.String},
+		table.Field{Name: "K2", Type: table.String},
+		table.Field{Name: "S1", Type: table.String},
+		table.Field{Name: "S2", Type: table.String},
+	)
+	keys := []string{"a", "b", "c"}
+	sens := []string{"u", "v", "w", "x", "y"}
+	b, _ := table.NewBuilder(sch)
+	for i := 0; i < n; i++ {
+		b.Append(
+			table.SV(keys[r.Intn(len(keys))]),
+			table.SV(keys[r.Intn(len(keys))]),
+			table.SV(sens[r.Intn(len(sens))]),
+			table.SV(sens[r.Intn(len(sens))]),
+		)
+	}
+	t, _ := b.Build()
+	return reflect.ValueOf(microdata{tbl: t})
+}
+
+var mdQIs = []string{"K1", "K2"}
+var mdConf = []string{"S1", "S2"}
+
+// suppressRandom removes a random subset of rows, mimicking the
+// suppression step (which only ever deletes tuples).
+func suppressRandom(t *table.Table, r *rand.Rand) *table.Table {
+	return t.Filter(func(int) bool { return r.Intn(4) != 0 })
+}
+
+// TestTheorem1Property: maxP computed on the initial microdata is an
+// upper bound for maxP of any row-subset (suppression never increases
+// distinct counts). This is the paper's Theorem 1.
+func TestTheorem1Property(t *testing.T) {
+	f := func(md microdata, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		maxP, err := MaxP(md.tbl, mdConf)
+		if err != nil {
+			return false
+		}
+		mm := suppressRandom(md.tbl, r)
+		if mm.NumRows() == 0 {
+			return true
+		}
+		maxPM, err := MaxP(mm, mdConf)
+		if err != nil {
+			return false
+		}
+		return maxP >= maxPM
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTheorem2Property: maxGroups computed on the initial microdata is
+// an upper bound for maxGroups of any row-subset, for every feasible p.
+// This is the paper's Theorem 2.
+func TestTheorem2Property(t *testing.T) {
+	f := func(md microdata, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mm := suppressRandom(md.tbl, r)
+		if mm.NumRows() == 0 {
+			return true
+		}
+		maxPM, err := MaxP(mm, mdConf)
+		if err != nil {
+			return false
+		}
+		for p := 2; p <= maxPM; p++ {
+			gIM, err := MaxGroups(md.tbl, mdConf, p)
+			if err != nil {
+				return false
+			}
+			gMM, err := MaxGroups(mm, mdConf, p)
+			if err != nil {
+				return false
+			}
+			if gIM < gMM {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNecessaryConditionsAreNecessary: whenever the detailed check says
+// a table satisfies p-sensitive k-anonymity, both necessary conditions
+// must hold — the conditions never wrongly reject a satisfying table.
+func TestNecessaryConditionsAreNecessary(t *testing.T) {
+	f := func(md microdata) bool {
+		for k := 2; k <= 3; k++ {
+			for p := 1; p <= k; p++ {
+				ok, err := CheckBasic(md.tbl, mdQIs, mdConf, p, k)
+				if err != nil {
+					return false
+				}
+				if !ok {
+					continue
+				}
+				// Basic says satisfied: Algorithm 2 must agree (its
+				// condition gates must not fire).
+				res, err := Check(md.tbl, mdQIs, mdConf, p, k)
+				if err != nil || !res.Satisfied {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCheckMonotoneInPK: satisfying (p, k) implies satisfying any
+// weaker (p', k') with p' <= p, k' <= k.
+func TestCheckMonotoneInPK(t *testing.T) {
+	f := func(md microdata) bool {
+		ok, err := CheckBasic(md.tbl, mdQIs, mdConf, 3, 3)
+		if err != nil {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		for k := 2; k <= 3; k++ {
+			for p := 1; p <= k && p <= 3; p++ {
+				weaker, err := CheckBasic(md.tbl, mdQIs, mdConf, p, k)
+				if err != nil || !weaker {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSensitivityConsistent: CheckBasic(p) succeeds iff p <=
+// Sensitivity (given k-anonymity holds with k = min group size >= 2).
+func TestSensitivityConsistent(t *testing.T) {
+	f := func(md microdata) bool {
+		minSize, err := MinGroupSize(md.tbl, mdQIs)
+		if err != nil || minSize < 2 {
+			return true
+		}
+		s, err := Sensitivity(md.tbl, mdQIs, mdConf)
+		if err != nil {
+			return false
+		}
+		maxP := s
+		if maxP > minSize {
+			maxP = minSize
+		}
+		for p := 1; p <= maxP; p++ {
+			ok, err := CheckBasic(md.tbl, mdQIs, mdConf, p, maxInt(2, p))
+			if err != nil || !ok {
+				return false
+			}
+		}
+		if s < minSize {
+			ok, err := CheckBasic(md.tbl, mdQIs, mdConf, s+1, maxInt(2, s+1))
+			if err != nil || ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPLessOrEqualSensitivityBoundedByGroupSize: sensitivity never
+// exceeds the smallest group size (p <= k observation from Section 2).
+func TestSensitivityBoundedByGroupSize(t *testing.T) {
+	f := func(md microdata) bool {
+		s, err1 := Sensitivity(md.tbl, mdQIs, mdConf)
+		g, err2 := MinGroupSize(md.tbl, mdQIs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return s <= g || md.tbl.NumRows() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAttributeDisclosuresZeroIffPSensitive: a k-anonymous table has no
+// p-level attribute disclosures exactly when it is p-sensitive.
+func TestAttributeDisclosuresZeroIffPSensitive(t *testing.T) {
+	f := func(md microdata) bool {
+		minSize, err := MinGroupSize(md.tbl, mdQIs)
+		if err != nil || minSize < 2 {
+			return true
+		}
+		for p := 1; p <= 2; p++ {
+			n, err := AttributeDisclosures(md.tbl, mdQIs, mdConf, p)
+			if err != nil {
+				return false
+			}
+			ok, err := CheckBasic(md.tbl, mdQIs, mdConf, p, 2)
+			if err != nil {
+				return false
+			}
+			if (n == 0) != ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

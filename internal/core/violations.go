@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"psk/internal/table"
+)
+
+// GroupViolation describes one QI-group that breaks p-sensitive
+// k-anonymity: either it is smaller than k, or some confidential
+// attribute has fewer than p distinct values inside it. Data owners use
+// this to see *where* a candidate masking leaks, not just that it does.
+type GroupViolation struct {
+	// Key holds the group's QI values in QI order.
+	Key []table.Value
+	// Size is the number of tuples in the group.
+	Size int
+	// TooSmall is true when Size < k (a k-anonymity violation).
+	TooSmall bool
+	// LowDiversity maps each confidential attribute with fewer than p
+	// distinct values to its observed distinct count.
+	LowDiversity map[string]int
+}
+
+// KeyString renders the group key.
+func (v GroupViolation) KeyString() string {
+	parts := make([]string, len(v.Key))
+	for i, k := range v.Key {
+		parts[i] = k.Str()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Violations lists every QI-group violating p-sensitive k-anonymity,
+// in group first-appearance order. A nil slice means the table has the
+// property. This is the diagnostic companion to Check: same semantics,
+// full reporting instead of early exit.
+func Violations(t *table.Table, qis, confidential []string, p, k int) ([]GroupViolation, error) {
+	if err := validatePK(p, k); err != nil {
+		return nil, err
+	}
+	if len(confidential) == 0 {
+		return nil, fmt.Errorf("core: no confidential attributes")
+	}
+	groups, err := t.GroupBy(qis...)
+	if err != nil {
+		return nil, err
+	}
+	var out []GroupViolation
+	for _, g := range groups {
+		v := GroupViolation{Key: g.Key, Size: g.Size()}
+		if g.Size() < k {
+			v.TooSmall = true
+		}
+		for _, attr := range confidential {
+			d, err := t.DistinctInRows(attr, g.Rows)
+			if err != nil {
+				return nil, err
+			}
+			if d < p {
+				if v.LowDiversity == nil {
+					v.LowDiversity = make(map[string]int)
+				}
+				v.LowDiversity[attr] = d
+			}
+		}
+		if v.TooSmall || len(v.LowDiversity) > 0 {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// GroupProfile summarizes one QI-group of a masked microdata: its size
+// and the per-confidential-attribute distinct counts.
+type GroupProfile struct {
+	Key      []table.Value
+	Size     int
+	Distinct map[string]int
+}
+
+// Profile computes the profile of every QI-group, in first-appearance
+// order. Sensitivity(t) equals the minimum Distinct value over all
+// profiles; MinGroupSize(t) the minimum Size.
+func Profile(t *table.Table, qis, confidential []string) ([]GroupProfile, error) {
+	groups, err := t.GroupBy(qis...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GroupProfile, 0, len(groups))
+	for _, g := range groups {
+		p := GroupProfile{Key: g.Key, Size: g.Size(), Distinct: make(map[string]int, len(confidential))}
+		for _, attr := range confidential {
+			d, err := t.DistinctInRows(attr, g.Rows)
+			if err != nil {
+				return nil, err
+			}
+			p.Distinct[attr] = d
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,303 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"psk/internal/lattice"
+	"psk/internal/table"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(500, 7)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, _ := Generate(500, 7)
+	if a.NumRows() != 500 {
+		t.Fatalf("rows = %d", a.NumRows())
+	}
+	for r := 0; r < 500; r += 50 {
+		x, _ := a.Row(r)
+		y, _ := b.Row(r)
+		for c := range x {
+			if !x[c].Equal(y[c]) {
+				t.Fatalf("same-seed rows differ at %d", r)
+			}
+		}
+	}
+	c, _ := Generate(500, 8)
+	same := true
+	for r := 0; r < 500 && same; r++ {
+		x, _ := a.Row(r)
+		y, _ := c.Row(r)
+		for i := range x {
+			if !x[i].Equal(y[i]) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+	if _, err := Generate(-1, 1); err == nil {
+		t.Error("negative size accepted")
+	}
+	empty, err := Generate(0, 1)
+	if err != nil || empty.NumRows() != 0 {
+		t.Errorf("Generate(0) = %d rows, %v", empty.NumRows(), err)
+	}
+}
+
+// TestGenerateMarginals checks the synthetic marginals stay within
+// loose tolerances of the published UCI Adult statistics — what the
+// DESIGN.md substitution promises.
+func TestGenerateMarginals(t *testing.T) {
+	tbl, err := Generate(20000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(tbl.NumRows())
+
+	frac := func(attr, value string) float64 {
+		col, err := tbl.Column(attr)
+		if err != nil {
+			t.Fatalf("column %s: %v", attr, err)
+		}
+		c := 0
+		for i := 0; i < col.Len(); i++ {
+			if col.Value(i).Str() == value {
+				c++
+			}
+		}
+		return float64(c) / n
+	}
+
+	checks := []struct {
+		attr, value string
+		want, tol   float64
+	}{
+		{Sex, "Male", 0.669, 0.02},
+		{Race, "White", 0.854, 0.02},
+		{Race, "Black", 0.096, 0.015},
+		{MaritalStatus, "Married-civ-spouse", 0.460, 0.02},
+		{MaritalStatus, "Never-married", 0.329, 0.02},
+		{Pay, "<=50K", 0.759, 0.06},
+		{CapitalGain, "0", 0.917, 0.04},
+		{CapitalLoss, "0", 0.953, 0.02},
+		{TaxPeriod, "12", 0.80, 0.02},
+	}
+	for _, c := range checks {
+		got := frac(c.attr, c.value)
+		if got < c.want-c.tol || got > c.want+c.tol {
+			t.Errorf("P(%s=%s) = %.4f, want %.3f +/- %.3f", c.attr, c.value, got, c.want, c.tol)
+		}
+	}
+
+	// Ages within [17, 90].
+	ageCol, _ := tbl.Column(Age)
+	for i := 0; i < ageCol.Len(); i++ {
+		a := ageCol.Value(i).Int()
+		if a < 17 || a > 90 {
+			t.Fatalf("age %d out of range", a)
+		}
+	}
+}
+
+func TestGenerateAgeCardinality(t *testing.T) {
+	// The paper reports 74 distinct ages; a large sample must come close
+	// (17..90 = 74 possible values).
+	tbl, _ := Generate(20000, 1)
+	d, err := tbl.DistinctCount(Age)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 70 || d > 74 {
+		t.Errorf("distinct ages = %d, want ~74", d)
+	}
+}
+
+func TestHierarchiesMatchTable7(t *testing.T) {
+	hs, err := Hierarchies()
+	if err != nil {
+		t.Fatalf("Hierarchies: %v", err)
+	}
+	dims, err := hs.Heights(QIs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := lattice.New(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat.Size() != 96 || lat.Height() != 9 {
+		t.Errorf("lattice = %d nodes height %d, want 96/9", lat.Size(), lat.Height())
+	}
+
+	// Spot-check Table 7 generalizations.
+	age, _ := hs.Get(Age)
+	got, err := age.Generalize("49", 2)
+	if err != nil || got != "<50" {
+		t.Errorf("Age 49@2 = %q, %v", got, err)
+	}
+	race, _ := hs.Get(Race)
+	got, _ = race.Generalize("Asian-Pac-Islander", 1)
+	if got != "Other" {
+		t.Errorf("Race API@1 = %q", got)
+	}
+	got, _ = race.Generalize("Black", 2)
+	if got != "Other" {
+		t.Errorf("Race Black@2 = %q", got)
+	}
+	sex, _ := hs.Get(Sex)
+	got, _ = sex.Generalize("Male", 1)
+	if got != "*" {
+		t.Errorf("Sex Male@1 = %q", got)
+	}
+	marital, _ := hs.Get(MaritalStatus)
+	got, _ = marital.Generalize("Widowed", 1)
+	if got != "Single" {
+		t.Errorf("Marital Widowed@1 = %q", got)
+	}
+}
+
+// TestHierarchiesCoverGeneratedData: every generated ground value must
+// generalize without error at every level (Set.Validate).
+func TestHierarchiesCoverGeneratedData(t *testing.T) {
+	tbl, _ := Generate(2000, 3)
+	hs, err := Hierarchies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ground := make(map[string][]string)
+	for _, attr := range QIs() {
+		vc, err := tbl.ValueCounts(attr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vc {
+			ground[attr] = append(ground[attr], v.Value.Str())
+		}
+	}
+	if err := hs.Validate(ground); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestLoadRealAdultFormat(t *testing.T) {
+	// A two-line extract in genuine UCI format.
+	text := `39, State-gov, 77516, Bachelors, 13, Never-married, Adm-clerical, Not-in-family, White, Male, 2174, 0, 40, United-States, <=50K
+50, Self-emp-not-inc, 83311, Bachelors, 13, Married-civ-spouse, Exec-managerial, Husband, White, Male, 0, 0, 13, United-States, >50K.
+`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "adult.data")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	v, _ := tbl.Value(0, Age)
+	if v.Int() != 39 {
+		t.Errorf("age = %v", v)
+	}
+	v, _ = tbl.Value(0, MaritalStatus)
+	if v.Str() != "Never-married" {
+		t.Errorf("marital = %v", v)
+	}
+	v, _ = tbl.Value(0, CapitalGain)
+	if v.Int() != 2174 {
+		t.Errorf("gain = %v", v)
+	}
+	// Pay keeps the class label, with the test-file trailing dot removed.
+	v, _ = tbl.Value(1, Pay)
+	if v.Str() != ">50K" {
+		t.Errorf("pay = %v", v)
+	}
+	// TaxPeriod substitution: 40 hours -> 12; 13 hours -> 3.
+	v, _ = tbl.Value(0, TaxPeriod)
+	if v.Int() != 12 {
+		t.Errorf("tax period = %v", v)
+	}
+	v, _ = tbl.Value(1, TaxPeriod)
+	if v.Int() != 3 {
+		t.Errorf("tax period = %v", v)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("/nonexistent/adult.data"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.data")
+	os.WriteFile(path, []byte("1,2,3\n"), 0o644)
+	if _, err := Load(path); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestSchemaAndAttributeLists(t *testing.T) {
+	sch := Schema()
+	if sch.Len() != 8 {
+		t.Errorf("schema fields = %d", sch.Len())
+	}
+	for _, a := range append(QIs(), Confidential()...) {
+		if !sch.Has(a) {
+			t.Errorf("schema missing %s", a)
+		}
+	}
+	if len(LatticePrefixes()) != len(QIs()) {
+		t.Error("prefix count mismatch")
+	}
+}
+
+// TestSampleCompatibility: the paper samples 400 and 4000 records; the
+// sample must preserve the schema and be drawable deterministically.
+func TestSampleCompatibility(t *testing.T) {
+	tbl, _ := Generate(10000, 99)
+	s400, err := tbl.Sample(400, 1)
+	if err != nil || s400.NumRows() != 400 {
+		t.Fatalf("sample 400: %d, %v", s400.NumRows(), err)
+	}
+	s4000, err := tbl.Sample(4000, 2)
+	if err != nil || s4000.NumRows() != 4000 {
+		t.Fatalf("sample 4000: %d, %v", s4000.NumRows(), err)
+	}
+	if !s400.Schema().Equal(tbl.Schema()) {
+		t.Error("sample schema mismatch")
+	}
+}
+
+// TestConfidentialCardinalities: the confidential attributes must admit
+// 2-sensitivity (every s_j >= 2) so Table 8's experiment is well posed.
+func TestConfidentialCardinalities(t *testing.T) {
+	tbl, _ := Generate(4000, 5)
+	for _, attr := range Confidential() {
+		d, err := tbl.DistinctCount(attr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < 2 {
+			t.Errorf("%s has %d distinct values; need >= 2", attr, d)
+		}
+	}
+}
+
+var sinkTable *table.Table
+
+func BenchmarkGenerate4000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := Generate(4000, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkTable = tbl
+	}
+}

@@ -1,0 +1,439 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"psk/internal/dataset"
+	"psk/internal/table"
+)
+
+// E1: the motivating attack must reproduce the paper's narrative
+// exactly: 2-anonymous, nobody uniquely identified, Sam and Eric learn
+// Diabetes.
+func TestRunMotivatingAttack(t *testing.T) {
+	res, err := RunMotivatingAttack()
+	if err != nil {
+		t.Fatalf("RunMotivatingAttack: %v", err)
+	}
+	if !res.KAnonymous {
+		t.Error("Table 1 should be 2-anonymous")
+	}
+	if res.Summary.UniquelyIdentified != 0 {
+		t.Errorf("uniquely identified = %d, want 0", res.Summary.UniquelyIdentified)
+	}
+	if res.Summary.AttributeDisclosed != 2 {
+		t.Errorf("attribute disclosed = %d, want 2", res.Summary.AttributeDisclosed)
+	}
+	for _, name := range []string{"Sam", "Eric"} {
+		if res.Learned[name]["Illness"] != "Diabetes" {
+			t.Errorf("%s learned %v, want Diabetes", name, res.Learned[name])
+		}
+	}
+	out := res.Format()
+	if !strings.Contains(out, "Sam has Illness = Diabetes") {
+		t.Errorf("Format missing disclosure line:\n%s", out)
+	}
+}
+
+// E2: Table 3 is 3-anonymous, 1-sensitive; the paper's edit lifts it to
+// 2-sensitive.
+func TestRunTable3Sensitivity(t *testing.T) {
+	res, err := RunTable3Sensitivity()
+	if err != nil {
+		t.Fatalf("RunTable3Sensitivity: %v", err)
+	}
+	if res.KAnonymity != 3 || res.Sensitivity != 1 || res.FixedSensitivity != 2 {
+		t.Errorf("result = %+v, want k=3 p=1 fixed=2", res)
+	}
+	if !strings.Contains(res.Format(), "1-sensitive 3-anonymity") {
+		t.Errorf("Format = %q", res.Format())
+	}
+}
+
+// E3: Figure 1's exact domain levels.
+func TestRunFigure1(t *testing.T) {
+	res, err := RunFigure1()
+	if err != nil {
+		t.Fatalf("RunFigure1: %v", err)
+	}
+	if len(res.ZipCode.Levels) != 3 {
+		t.Fatalf("zip levels = %d", len(res.ZipCode.Levels))
+	}
+	if got := strings.Join(res.ZipCode.Levels[1], ","); got != "4107*,4108*,4109*" {
+		t.Errorf("Z1 = %q", got)
+	}
+	if got := strings.Join(res.ZipCode.Levels[2], ","); got != "410**" {
+		t.Errorf("Z2 = %q", got)
+	}
+	if got := strings.Join(res.Sex.Levels[1], ","); got != "Person" {
+		t.Errorf("S1 = %q", got)
+	}
+	if !strings.Contains(res.Format(), "4107*") {
+		t.Error("Format missing zip labels")
+	}
+}
+
+// E4: Figure 2's lattice shape.
+func TestRunFigure2(t *testing.T) {
+	res, err := RunFigure2()
+	if err != nil {
+		t.Fatalf("RunFigure2: %v", err)
+	}
+	if res.Size != 6 || res.Height != 3 {
+		t.Errorf("lattice = %d nodes height %d, want 6/3", res.Size, res.Height)
+	}
+	wantCounts := []int{1, 2, 2, 1}
+	for h, want := range wantCounts {
+		if len(res.ByHeight[h]) != want {
+			t.Errorf("height %d has %d nodes, want %d", h, len(res.ByHeight[h]), want)
+		}
+	}
+	if res.ByHeight[0][0] != "<S0, Z0>" || res.ByHeight[3][0] != "<S1, Z2>" {
+		t.Errorf("labels = %v", res.ByHeight)
+	}
+	if !strings.Contains(res.Format(), "<S1, Z1>") {
+		t.Error("Format missing node labels")
+	}
+}
+
+// E5: Figure 3's exact per-node violation counts.
+func TestRunFigure3(t *testing.T) {
+	res, err := RunFigure3()
+	if err != nil {
+		t.Fatalf("RunFigure3: %v", err)
+	}
+	want := map[string]int{
+		"<S0, Z0>": 10,
+		"<S1, Z0>": 7,
+		"<S0, Z1>": 7,
+		"<S1, Z1>": 2,
+		"<S0, Z2>": 0,
+		"<S1, Z2>": 0,
+	}
+	if len(res.Nodes) != len(want) {
+		t.Fatalf("nodes = %v", res.Nodes)
+	}
+	for i, n := range res.Nodes {
+		if res.Counts[i] != want[n] {
+			t.Errorf("%s = %d, want %d", n, res.Counts[i], want[n])
+		}
+	}
+	if !strings.Contains(res.Format(), "Violating tuples") {
+		t.Error("Format header missing")
+	}
+}
+
+// E6: Table 4's exact minimal generalizations for all TS values.
+func TestRunTable4(t *testing.T) {
+	res, err := RunTable4()
+	if err != nil {
+		t.Fatalf("RunTable4: %v", err)
+	}
+	if len(res.Rows) != 11 {
+		t.Fatalf("rows = %d, want 11 (TS 0..10)", len(res.Rows))
+	}
+	want := map[int]string{
+		0:  "<S0, Z2>",
+		1:  "<S0, Z2>",
+		2:  "<S0, Z2> and <S1, Z1>",
+		3:  "<S0, Z2> and <S1, Z1>",
+		4:  "<S0, Z2> and <S1, Z1>",
+		5:  "<S0, Z2> and <S1, Z1>",
+		6:  "<S0, Z2> and <S1, Z1>",
+		7:  "<S0, Z1> and <S1, Z0>",
+		8:  "<S0, Z1> and <S1, Z0>",
+		9:  "<S0, Z1> and <S1, Z0>",
+		10: "<S0, Z0>",
+	}
+	for _, row := range res.Rows {
+		got := strings.Join(row.Nodes, " and ")
+		if got != want[row.TS] {
+			t.Errorf("TS=%d: %q, want %q", row.TS, got, want[row.TS])
+		}
+	}
+	if !strings.Contains(res.Format(), "Minimal nodes") {
+		t.Error("Format header missing")
+	}
+}
+
+// E7: Tables 5-6 exact values and the maxGroups walk-through
+// (300/100/50/25).
+func TestRunExample1(t *testing.T) {
+	res, err := RunExample1()
+	if err != nil {
+		t.Fatalf("RunExample1: %v", err)
+	}
+	if res.N != 1000 || res.MaxP != 5 {
+		t.Errorf("n=%d maxP=%d, want 1000/5", res.N, res.MaxP)
+	}
+	if got := intsToString(res.CFMax); got != "700 900 950 960 1000" {
+		t.Errorf("cf = %q", got)
+	}
+	want := map[int]int{2: 300, 3: 100, 4: 50, 5: 25}
+	for p, w := range want {
+		if res.MaxGroups[p] != w {
+			t.Errorf("maxGroups(%d) = %d, want %d", p, res.MaxGroups[p], w)
+		}
+	}
+	byAttr := make(map[string]FrequencyRow)
+	for _, r := range res.Rows {
+		byAttr[r.Attribute] = r
+	}
+	if got := intsToString(byAttr["S3"].Freq); got != "700 200 50 10 10 10 10 5 3 2" {
+		t.Errorf("f^3 = %q", got)
+	}
+	if got := intsToString(byAttr["S2"].Cumulative); got != "500 800 900 940 975 1000" {
+		t.Errorf("cf^2 = %q", got)
+	}
+	if byAttr["S1"].Distinct != 5 || byAttr["S2"].Distinct != 6 || byAttr["S3"].Distinct != 10 {
+		t.Error("distinct counts wrong")
+	}
+	if !strings.Contains(res.Format(), "maxGroups(p=5) = 25") {
+		t.Errorf("Format:\n%s", res.Format())
+	}
+}
+
+// E8: Table 7's hierarchy descriptions and lattice shape.
+func TestRunTable7(t *testing.T) {
+	im, err := generateSmallAdult(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunTable7(im)
+	if err != nil {
+		t.Fatalf("RunTable7: %v", err)
+	}
+	if res.LatticeSize != 96 || res.Height != 9 {
+		t.Errorf("lattice = %d/%d, want 96/9", res.LatticeSize, res.Height)
+	}
+	byAttr := make(map[string]Table7Row)
+	for _, r := range res.Rows {
+		byAttr[r.Attribute] = r
+	}
+	if len(byAttr["Age"].LevelNames) != 3 || len(byAttr["Sex"].LevelNames) != 1 {
+		t.Errorf("level names = %+v", byAttr)
+	}
+	if byAttr["MaritalStatus"].LevelNames[0] != "Single or Married" {
+		t.Errorf("marital level 1 = %q", byAttr["MaritalStatus"].LevelNames[0])
+	}
+	if !strings.Contains(res.Format(), "96 nodes") {
+		t.Error("Format missing lattice size")
+	}
+}
+
+// E9: Table 8's shape on the synthetic Adult — the core claims of the
+// paper's experiment section:
+//
+//  1. k-minimal maskings exist for every cell;
+//  2. attribute disclosures occur in most cells (the paper: 3 of 4);
+//  3. disclosures do not increase when k grows at fixed size.
+func TestRunTable8Shape(t *testing.T) {
+	res, err := RunTable8(Table8Config{SampleSeed: 17})
+	if err != nil {
+		t.Fatalf("RunTable8: %v", err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	positive := 0
+	byCell := make(map[[2]int]Table8Row)
+	for _, r := range res.Rows {
+		byCell[[2]int{r.Size, r.K}] = r
+		if r.Disclosures > 0 {
+			positive++
+		}
+		if r.Height < 1 {
+			t.Errorf("n=%d k=%d: k-minimal at height %d; expected generalization", r.Size, r.K, r.Height)
+		}
+	}
+	if positive < 3 {
+		t.Errorf("attribute disclosures in %d of 4 cells; paper found 3 of 4", positive)
+	}
+	for _, n := range []int{400, 4000} {
+		if byCell[[2]int{n, 3}].Disclosures > byCell[[2]int{n, 2}].Disclosures {
+			t.Errorf("n=%d: disclosures rose with k: %d -> %d",
+				n, byCell[[2]int{n, 2}].Disclosures, byCell[[2]int{n, 3}].Disclosures)
+		}
+	}
+	out := res.Format()
+	if !strings.Contains(out, "400 and 2-anonymity") || !strings.Contains(out, "4000 and 3-anonymity") {
+		t.Errorf("Format rows missing:\n%s", out)
+	}
+}
+
+// E10: the ablation must agree on outcomes and never scan more groups
+// with conditions enabled.
+func TestRunAblation(t *testing.T) {
+	res, err := RunAblation([]int{400}, 3, 2, nil, 17)
+	if err != nil {
+		t.Fatalf("RunAblation: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if !row.SameOutcome {
+		t.Error("conditions changed the search outcome")
+	}
+	if row.ScansWith > row.ScansWithout {
+		t.Errorf("conditions increased scans: %d > %d", row.ScansWith, row.ScansWithout)
+	}
+	if !strings.Contains(res.Format(), "same outcome") {
+		t.Error("Format header missing")
+	}
+}
+
+// E11: Mondrian must dominate full-domain generalization on
+// discernibility (lower is better) at equal k — the known utility
+// crossover between single- and multi-dimensional recoding.
+func TestRunUtilityShape(t *testing.T) {
+	res, err := RunUtility(800, []int{2, 5}, 1, nil, 17)
+	if err != nil {
+		t.Fatalf("RunUtility: %v", err)
+	}
+	for _, row := range res.Rows {
+		if !row.FDFound {
+			t.Errorf("k=%d: full-domain found nothing", row.K)
+			continue
+		}
+		if !row.MPSatisfied {
+			t.Errorf("k=%d: Mondrian output does not satisfy the property", row.K)
+		}
+		if row.MDiscernibility > row.FDDiscernibility {
+			t.Errorf("k=%d: Mondrian DM %d worse than full-domain %d",
+				row.K, row.MDiscernibility, row.FDDiscernibility)
+		}
+	}
+	if !strings.Contains(res.Format(), "Mondrian") {
+		t.Error("Format header missing")
+	}
+}
+
+func generateSmallAdult(t *testing.T) (*table.Table, error) {
+	t.Helper()
+	return dataset.Generate(2000, 11)
+}
+
+// E11 extension: GreedyCluster must also satisfy the property and beat
+// full-domain generalization on discernibility.
+func TestRunUtilityClusterColumn(t *testing.T) {
+	res, err := RunUtility(600, []int{3}, 2, nil, 17)
+	if err != nil {
+		t.Fatalf("RunUtility: %v", err)
+	}
+	row := res.Rows[0]
+	if !row.CPSatisfied {
+		t.Error("GreedyCluster output does not satisfy the property")
+	}
+	if row.CClusters < 2 {
+		t.Errorf("clusters = %d", row.CClusters)
+	}
+	if row.FDFound && row.CDiscernibility > row.FDDiscernibility {
+		t.Errorf("cluster DM %d worse than full-domain %d", row.CDiscernibility, row.FDDiscernibility)
+	}
+	if !strings.Contains(res.Format(), "GreedyCluster") {
+		t.Error("Format missing cluster column")
+	}
+}
+
+// E14: the masking-method comparison must show the expected risk and
+// utility ordering.
+func TestRunMethodsShape(t *testing.T) {
+	res, err := RunMethods(800, 3, nil, 17)
+	if err != nil {
+		t.Fatalf("RunMethods: %v", err)
+	}
+	byName := make(map[string]MethodRow)
+	for _, r := range res.Rows {
+		byName[r.Method] = r
+	}
+	raw, ok := byName["none (raw)"]
+	if !ok {
+		t.Fatal("raw row missing")
+	}
+	if raw.ProsecutorMax != 1 {
+		t.Errorf("raw prosecutor risk = %g; samples this size always have unique QI combos", raw.ProsecutorMax)
+	}
+	if raw.AgeMAE != 0 || raw.ExactAges != 1 {
+		t.Errorf("raw utility row = %+v", raw)
+	}
+	// The grouping methods must cut risk below raw.
+	for _, name := range []string{"full-domain generalization", "mondrian"} {
+		row, ok := byName[name]
+		if !ok {
+			t.Errorf("%s row missing", name)
+			continue
+		}
+		if row.MarketerRisk >= raw.MarketerRisk {
+			t.Errorf("%s marketer risk %g not below raw %g", name, row.MarketerRisk, raw.MarketerRisk)
+		}
+	}
+	// Rank swap preserves the marginal: lower Age error than full
+	// suppression-style recoding but non-zero.
+	swap := byName["rank swap (Age, 5%)"]
+	if swap.AgeMAE <= 0 {
+		t.Errorf("rank swap MAE = %g, want > 0", swap.AgeMAE)
+	}
+	fd := byName["full-domain generalization"]
+	if fd.Method != "" && swap.AgeMAE >= fd.AgeMAE {
+		t.Errorf("rank swap MAE %g should beat full-domain %g", swap.AgeMAE, fd.AgeMAE)
+	}
+	if !strings.Contains(res.Format(), "Prosecutor max") {
+		t.Error("Format header missing")
+	}
+}
+
+func TestDecodeAge(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"42", 42, true},
+		{"20-29", 24.5, true},
+		{"[20-39]", 29.5, true},
+		{"<50", 40, true},
+		{">=50", 60, true},
+		{"*", 0, false},
+		{"", 0, false},
+		{"abc", 0, false},
+		{"12.5", 12.5, true},
+	}
+	for _, c := range cases {
+		got, ok := decodeAge(c.in)
+		if ok != c.ok || (ok && math.Abs(got-c.want) > 1e-9) {
+			t.Errorf("decodeAge(%q) = %g, %v; want %g, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// E15: disclosures must be non-increasing in k (the paper's closing
+// claim) and remain positive for small k on the skewed Adult data.
+func TestRunDisclosureDecay(t *testing.T) {
+	res, err := RunDisclosureDecay(2000, []int{2, 4, 8}, nil, 17)
+	if err != nil {
+		t.Fatalf("RunDisclosureDecay: %v", err)
+	}
+	if len(res.Disclosures) != 3 {
+		t.Fatalf("series length = %d", len(res.Disclosures))
+	}
+	if res.Disclosures[0] == 0 {
+		t.Error("k=2 should disclose on skewed Adult data")
+	}
+	// The paper's claim is a broad decay, not strict monotonicity (its
+	// own caveat: "the attribute disclosure problem is not avoided").
+	last := len(res.Disclosures) - 1
+	if res.Disclosures[last] > res.Disclosures[0] {
+		t.Errorf("disclosures grew from k=2 to k=%d: %v", res.Ks[last], res.Disclosures)
+	}
+	for i := 1; i < len(res.Heights); i++ {
+		if res.Heights[i] < res.Heights[i-1] {
+			t.Errorf("node heights fell with k: %v", res.Heights)
+		}
+	}
+	if !strings.Contains(res.Format(), "attr disclosures") {
+		t.Error("Format header missing")
+	}
+}

@@ -1,0 +1,226 @@
+// Package hierarchy implements domain and value generalization
+// hierarchies (DGH/VGH) in the sense of Samarati and Sweeney, as used by
+// the p-sensitive k-anonymity paper (Figure 1, Table 7).
+//
+// A hierarchy for an attribute is an ordered chain of domains
+// D0 < D1 < ... < Dh where D0 is the ground domain and each step maps
+// every value to a coarser label. Level 0 is always the identity.
+// Implementations cover the three shapes the literature uses:
+//
+//   - Tree: an explicit value generalization tree (categorical data,
+//     e.g. MaritalStatus -> {Single, Married} -> *).
+//   - Prefix: digit-suppression hierarchies for code-like values
+//     (ZipCode 43102 -> 4310* -> 431** -> ...).
+//   - Interval: numeric bucketing with per-level cut points
+//     (Age -> 10-year ranges -> {<50, >=50} -> *).
+//   - Flat: a single generalization step to one group ("*"), the
+//     degenerate hierarchy used for Sex.
+package hierarchy
+
+import (
+	"fmt"
+)
+
+// Suppressed is the conventional label of the one-group top domain.
+const Suppressed = "*"
+
+// Hierarchy maps ground values of one attribute to generalized labels at
+// each level of its domain generalization hierarchy.
+type Hierarchy interface {
+	// Attribute returns the attribute name this hierarchy applies to.
+	Attribute() string
+	// Height returns the number of generalization steps: valid levels
+	// are 0 (identity) through Height inclusive.
+	Height() int
+	// Generalize maps a ground value to its label at the given level.
+	// Level 0 returns the value unchanged. An error is returned for
+	// unknown values (trees) or out-of-range levels.
+	Generalize(value string, level int) (string, error)
+	// LevelName returns a human-readable name for a domain level, e.g.
+	// "Z2" or "10-year ranges".
+	LevelName(level int) string
+}
+
+// checkLevel validates a level against a height.
+func checkLevel(attr string, level, height int) error {
+	if level < 0 || level > height {
+		return fmt.Errorf("hierarchy: %s: level %d out of range [0,%d]", attr, level, height)
+	}
+	return nil
+}
+
+// Flat is the degenerate hierarchy with one generalization step mapping
+// every value to Suppressed. Used for attributes like Sex.
+type Flat struct {
+	Attr string
+	// Top is the label of the single group; defaults to Suppressed.
+	Top string
+}
+
+// NewFlat builds a Flat hierarchy for the attribute.
+func NewFlat(attr string) *Flat { return &Flat{Attr: attr} }
+
+// Attribute implements Hierarchy.
+func (f *Flat) Attribute() string { return f.Attr }
+
+// Height implements Hierarchy: one step.
+func (f *Flat) Height() int { return 1 }
+
+// Generalize implements Hierarchy.
+func (f *Flat) Generalize(value string, level int) (string, error) {
+	if err := checkLevel(f.Attr, level, 1); err != nil {
+		return "", err
+	}
+	if level == 0 {
+		return value, nil
+	}
+	if f.Top != "" {
+		return f.Top, nil
+	}
+	return Suppressed, nil
+}
+
+// LevelName implements Hierarchy.
+func (f *Flat) LevelName(level int) string {
+	if level == 0 {
+		return "ground"
+	}
+	return "one group"
+}
+
+// Prefix is a digit/character-suppression hierarchy: level i replaces
+// the last i characters of the value with '*'. It models the paper's
+// ZipCode hierarchy of Figure 1 (Z0=43102, Z1=4310*, Z2=431**, ...).
+type Prefix struct {
+	Attr string
+	// Width is the expected value length; values of other lengths are
+	// rejected so that levels line up across all values.
+	Width int
+	// Steps is how many suppression levels exist (<= Width). The paper's
+	// Figure 1 uses 2 steps for 5-digit zips; a full hierarchy would use
+	// Width steps.
+	Steps int
+}
+
+// NewPrefix builds a Prefix hierarchy for fixed-width values.
+func NewPrefix(attr string, width, steps int) (*Prefix, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("hierarchy: %s: width must be positive, got %d", attr, width)
+	}
+	if steps <= 0 || steps > width {
+		return nil, fmt.Errorf("hierarchy: %s: steps %d out of range [1,%d]", attr, steps, width)
+	}
+	return &Prefix{Attr: attr, Width: width, Steps: steps}, nil
+}
+
+// Attribute implements Hierarchy.
+func (p *Prefix) Attribute() string { return p.Attr }
+
+// Height implements Hierarchy.
+func (p *Prefix) Height() int { return p.Steps }
+
+// Generalize implements Hierarchy.
+func (p *Prefix) Generalize(value string, level int) (string, error) {
+	if err := checkLevel(p.Attr, level, p.Steps); err != nil {
+		return "", err
+	}
+	if len(value) != p.Width {
+		return "", fmt.Errorf("hierarchy: %s: value %q is not %d characters", p.Attr, value, p.Width)
+	}
+	if level == 0 {
+		return value, nil
+	}
+	keep := p.Width - level
+	out := make([]byte, p.Width)
+	copy(out, value[:keep])
+	for i := keep; i < p.Width; i++ {
+		out[i] = '*'
+	}
+	return string(out), nil
+}
+
+// LevelName implements Hierarchy.
+func (p *Prefix) LevelName(level int) string {
+	if level == 0 {
+		return "ground"
+	}
+	return fmt.Sprintf("last %d suppressed", level)
+}
+
+// PrefixSteps is a generalization of Prefix in which each level
+// suppresses a configured number of trailing characters rather than
+// exactly one more per level. The paper's Figure 3 uses such a ZipCode
+// hierarchy: level 1 suppresses the last two digits (43102 -> 431**)
+// and level 2 collapses to one group. When a level suppresses the whole
+// value the label is the single group Suppressed ("*").
+type PrefixSteps struct {
+	Attr string
+	// Width is the expected value length.
+	Width int
+	// Suppress[i-1] is the number of trailing characters replaced at
+	// level i; it must be strictly increasing and within [1, Width].
+	Suppress []int
+}
+
+// NewPrefixSteps builds a PrefixSteps hierarchy and validates the step
+// schedule.
+func NewPrefixSteps(attr string, width int, suppress []int) (*PrefixSteps, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("hierarchy: %s: width must be positive, got %d", attr, width)
+	}
+	if len(suppress) == 0 {
+		return nil, fmt.Errorf("hierarchy: %s: empty suppression schedule", attr)
+	}
+	prev := 0
+	for i, s := range suppress {
+		if s <= prev || s > width {
+			return nil, fmt.Errorf("hierarchy: %s: suppression schedule must be strictly increasing within [1,%d], got %v at index %d",
+				attr, width, suppress, i)
+		}
+		prev = s
+	}
+	cp := make([]int, len(suppress))
+	copy(cp, suppress)
+	return &PrefixSteps{Attr: attr, Width: width, Suppress: cp}, nil
+}
+
+// Attribute implements Hierarchy.
+func (p *PrefixSteps) Attribute() string { return p.Attr }
+
+// Height implements Hierarchy.
+func (p *PrefixSteps) Height() int { return len(p.Suppress) }
+
+// Generalize implements Hierarchy.
+func (p *PrefixSteps) Generalize(value string, level int) (string, error) {
+	if err := checkLevel(p.Attr, level, len(p.Suppress)); err != nil {
+		return "", err
+	}
+	if len(value) != p.Width {
+		return "", fmt.Errorf("hierarchy: %s: value %q is not %d characters", p.Attr, value, p.Width)
+	}
+	if level == 0 {
+		return value, nil
+	}
+	drop := p.Suppress[level-1]
+	if drop == p.Width {
+		return Suppressed, nil
+	}
+	keep := p.Width - drop
+	out := make([]byte, p.Width)
+	copy(out, value[:keep])
+	for i := keep; i < p.Width; i++ {
+		out[i] = '*'
+	}
+	return string(out), nil
+}
+
+// LevelName implements Hierarchy.
+func (p *PrefixSteps) LevelName(level int) string {
+	if level == 0 {
+		return "ground"
+	}
+	if p.Suppress[level-1] == p.Width {
+		return "one group"
+	}
+	return fmt.Sprintf("last %d suppressed", p.Suppress[level-1])
+}

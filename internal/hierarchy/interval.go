@@ -1,0 +1,139 @@
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// IntervalLevel is one domain of a numeric hierarchy: a set of cut
+// points partitioning the integer line into labeled ranges. A value v
+// falls into bucket i when Cuts[i-1] <= v < Cuts[i] (with open ends).
+type IntervalLevel struct {
+	// Name of the domain, e.g. "10-year ranges".
+	Name string
+	// Cuts are strictly increasing interior cut points. k cuts induce
+	// k+1 buckets. Empty cuts means a single all-covering group.
+	Cuts []int64
+	// Labels optionally names each bucket; when empty, labels are
+	// derived as "[lo-hi)" style ranges.
+	Labels []string
+}
+
+// bucket returns the bucket index for v.
+func (l IntervalLevel) bucket(v int64) int {
+	// First cut strictly greater than v.
+	return sort.Search(len(l.Cuts), func(i int) bool { return v < l.Cuts[i] })
+}
+
+// label renders the label of bucket i.
+func (l IntervalLevel) label(i int) string {
+	if len(l.Labels) > 0 {
+		return l.Labels[i]
+	}
+	if len(l.Cuts) == 0 {
+		return Suppressed
+	}
+	switch {
+	case i == 0:
+		return fmt.Sprintf("<%d", l.Cuts[0])
+	case i == len(l.Cuts):
+		return fmt.Sprintf(">=%d", l.Cuts[len(l.Cuts)-1])
+	default:
+		return fmt.Sprintf("%d-%d", l.Cuts[i-1], l.Cuts[i]-1)
+	}
+}
+
+// Interval is a numeric generalization hierarchy: an ordered list of
+// interval levels, each at least as coarse as the previous. It models
+// the paper's Age hierarchy of Table 7 (10-year ranges, then <50 / >=50,
+// then one group).
+type Interval struct {
+	attr   string
+	levels []IntervalLevel
+}
+
+// NewInterval builds a numeric hierarchy and validates that each level
+// is a coarsening of the previous: every cut at level i+1 must also be a
+// cut at level i, which guarantees the generalization tree property
+// (same level-i bucket implies same level-i+1 bucket).
+func NewInterval(attr string, levels []IntervalLevel) (*Interval, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("hierarchy: %s: interval hierarchy needs at least one level", attr)
+	}
+	for li, l := range levels {
+		for i := 1; i < len(l.Cuts); i++ {
+			if l.Cuts[i] <= l.Cuts[i-1] {
+				return nil, fmt.Errorf("hierarchy: %s: level %d cuts not strictly increasing", attr, li+1)
+			}
+		}
+		if len(l.Labels) > 0 && len(l.Labels) != len(l.Cuts)+1 {
+			return nil, fmt.Errorf("hierarchy: %s: level %d has %d labels for %d buckets",
+				attr, li+1, len(l.Labels), len(l.Cuts)+1)
+		}
+	}
+	for li := 1; li < len(levels); li++ {
+		prev := make(map[int64]bool, len(levels[li-1].Cuts))
+		for _, c := range levels[li-1].Cuts {
+			prev[c] = true
+		}
+		for _, c := range levels[li].Cuts {
+			if !prev[c] {
+				return nil, fmt.Errorf("hierarchy: %s: level %d cut %d is not a cut of level %d (not a coarsening)",
+					attr, li+1, c, li)
+			}
+		}
+	}
+	return &Interval{attr: attr, levels: levels}, nil
+}
+
+// Attribute implements Hierarchy.
+func (h *Interval) Attribute() string { return h.attr }
+
+// Height implements Hierarchy.
+func (h *Interval) Height() int { return len(h.levels) }
+
+// Generalize implements Hierarchy. Values must parse as integers.
+func (h *Interval) Generalize(value string, level int) (string, error) {
+	if err := checkLevel(h.attr, level, len(h.levels)); err != nil {
+		return "", err
+	}
+	if level == 0 {
+		return value, nil
+	}
+	v, err := strconv.ParseInt(value, 10, 64)
+	if err != nil {
+		return "", fmt.Errorf("hierarchy: %s: value %q is not an integer", h.attr, value)
+	}
+	l := h.levels[level-1]
+	return l.label(l.bucket(v)), nil
+}
+
+// LevelName implements Hierarchy.
+func (h *Interval) LevelName(level int) string {
+	if level == 0 {
+		return "ground"
+	}
+	if h.levels[level-1].Name != "" {
+		return h.levels[level-1].Name
+	}
+	return fmt.Sprintf("level %d", level)
+}
+
+// DecadeLevel builds an interval level of fixed-width buckets covering
+// [lo, hi], labeled "lo-lo+width-1". Used for the paper's "10-years
+// ranges" Age generalization.
+func DecadeLevel(name string, lo, hi, width int64) IntervalLevel {
+	var cuts []int64
+	var labels []string
+	start := lo - lo%width
+	if lo < 0 && lo%width != 0 {
+		start -= width
+	}
+	labels = append(labels, fmt.Sprintf("%d-%d", start, start+width-1))
+	for c := start + width; c <= hi; c += width {
+		cuts = append(cuts, c)
+		labels = append(labels, fmt.Sprintf("%d-%d", c, c+width-1))
+	}
+	return IntervalLevel{Name: name, Cuts: cuts, Labels: labels}
+}

@@ -1,0 +1,154 @@
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tree is an explicit value generalization hierarchy for categorical
+// attributes: each ground value has a fixed chain of ancestors, one per
+// level. It models Table 7's MaritalStatus and Race hierarchies.
+type Tree struct {
+	attr   string
+	height int
+	// chain[value][level-1] is the label of value at that level.
+	chain map[string][]string
+	names []string // level names, may be empty
+}
+
+// NewTree builds a tree hierarchy from per-value ancestor chains: rows
+// maps each ground value to its labels at levels 1..height. All chains
+// must have the same length, and the hierarchy must be consistent: two
+// values with equal labels at level i must have equal labels at every
+// level above i (otherwise generalization would not be a function on
+// domains).
+func NewTree(attr string, rows map[string][]string) (*Tree, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("hierarchy: %s: empty tree hierarchy", attr)
+	}
+	height := -1
+	for v, chain := range rows {
+		if height == -1 {
+			height = len(chain)
+		} else if len(chain) != height {
+			return nil, fmt.Errorf("hierarchy: %s: value %q has chain length %d, want %d",
+				attr, v, len(chain), height)
+		}
+	}
+	if height == 0 {
+		return nil, fmt.Errorf("hierarchy: %s: tree hierarchy needs at least one level", attr)
+	}
+	// Consistency: label at level i determines label at level i+1.
+	for lvl := 0; lvl < height-1; lvl++ {
+		parent := make(map[string]string)
+		for v, chain := range rows {
+			if up, ok := parent[chain[lvl]]; ok {
+				if up != chain[lvl+1] {
+					return nil, fmt.Errorf("hierarchy: %s: label %q at level %d maps to both %q and %q at level %d (value %q)",
+						attr, chain[lvl], lvl+1, up, chain[lvl+1], lvl+2, v)
+				}
+			} else {
+				parent[chain[lvl]] = chain[lvl+1]
+			}
+		}
+	}
+	cp := make(map[string][]string, len(rows))
+	for v, chain := range rows {
+		cc := make([]string, len(chain))
+		copy(cc, chain)
+		cp[v] = cc
+	}
+	return &Tree{attr: attr, height: height, chain: cp}, nil
+}
+
+// WithLevelNames attaches names to levels 1..Height and returns the
+// receiver for chaining.
+func (t *Tree) WithLevelNames(names ...string) *Tree {
+	t.names = names
+	return t
+}
+
+// Attribute implements Hierarchy.
+func (t *Tree) Attribute() string { return t.attr }
+
+// Height implements Hierarchy.
+func (t *Tree) Height() int { return t.height }
+
+// Generalize implements Hierarchy.
+func (t *Tree) Generalize(value string, level int) (string, error) {
+	if err := checkLevel(t.attr, level, t.height); err != nil {
+		return "", err
+	}
+	if level == 0 {
+		return value, nil
+	}
+	chain, ok := t.chain[value]
+	if !ok {
+		return "", fmt.Errorf("hierarchy: %s: unknown value %q", t.attr, value)
+	}
+	return chain[level-1], nil
+}
+
+// LevelName implements Hierarchy.
+func (t *Tree) LevelName(level int) string {
+	if level == 0 {
+		return "ground"
+	}
+	if level-1 < len(t.names) {
+		return t.names[level-1]
+	}
+	return fmt.Sprintf("level %d", level)
+}
+
+// GroundValues returns the sorted ground domain of the tree.
+func (t *Tree) GroundValues() []string {
+	vals := make([]string, 0, len(t.chain))
+	for v := range t.chain {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	return vals
+}
+
+// DomainSize returns the number of distinct labels at the given level
+// (level 0 = ground domain size). Unknown levels return 0.
+func (t *Tree) DomainSize(level int) int {
+	if level < 0 || level > t.height {
+		return 0
+	}
+	if level == 0 {
+		return len(t.chain)
+	}
+	seen := make(map[string]struct{})
+	for _, chain := range t.chain {
+		seen[chain[level-1]] = struct{}{}
+	}
+	return len(seen)
+}
+
+// ParseTree parses the common semicolon-separated hierarchy file format
+// (one line per ground value: value;level1;level2;...), as used by ARX
+// and similar tools. Blank lines and lines starting with '#' are
+// skipped.
+func ParseTree(attr, text string) (*Tree, error) {
+	rows := make(map[string][]string)
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ";")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("hierarchy: %s: line %d needs at least value;level1", attr, ln+1)
+		}
+		for i := range parts {
+			parts[i] = strings.TrimSpace(parts[i])
+		}
+		if _, dup := rows[parts[0]]; dup {
+			return nil, fmt.Errorf("hierarchy: %s: line %d: duplicate ground value %q", attr, ln+1, parts[0])
+		}
+		rows[parts[0]] = parts[1:]
+	}
+	return NewTree(attr, rows)
+}

@@ -1,0 +1,275 @@
+// Package lattice implements the generalization lattice of Samarati,
+// the search space of full-domain generalization (paper Figure 2).
+//
+// A node is a vector of generalization levels, one per quasi-identifier
+// attribute: node[i] in [0, dims[i]]. The partial order is component-wise
+// <=; node Y is a generalization of X when Y >= X in every coordinate.
+// The height of a node is the sum of its coordinates — the minimum path
+// length from the bottom element — and the lattice height is the sum of
+// the per-attribute hierarchy heights.
+package lattice
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is a generalization level vector. Nodes are value-like; treat
+// them as immutable once created.
+type Node []int
+
+// Clone returns an independent copy of the node.
+func (n Node) Clone() Node {
+	c := make(Node, len(n))
+	copy(c, n)
+	return c
+}
+
+// Height returns the sum of levels — height(X, GL) in the paper.
+func (n Node) Height() int {
+	h := 0
+	for _, l := range n {
+		h += l
+	}
+	return h
+}
+
+// Equal reports component-wise equality.
+func (n Node) Equal(o Node) bool {
+	if len(n) != len(o) {
+		return false
+	}
+	for i := range n {
+		if n[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// GeneralizationOf reports whether n >= o in every coordinate, i.e. n is
+// on a path from o to the top of the lattice (n may equal o).
+func (n Node) GeneralizationOf(o Node) bool {
+	if len(n) != len(o) {
+		return false
+	}
+	for i := range n {
+		if n[i] < o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// StrictGeneralizationOf reports n >= o and n != o.
+func (n Node) StrictGeneralizationOf(o Node) bool {
+	return n.GeneralizationOf(o) && !n.Equal(o)
+}
+
+// Key returns a compact string key for maps.
+func (n Node) Key() string {
+	var b strings.Builder
+	for i, l := range n {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", l)
+	}
+	return b.String()
+}
+
+// String renders the node in the paper's notation using the given
+// attribute prefixes, e.g. Label([]string{"A","M","R","S"}) -> "<A1, M1,
+// R2, S1>". With no prefixes it renders "<1,1,2,1>".
+func (n Node) String() string { return "<" + n.Key() + ">" }
+
+// Label renders the node with attribute letter prefixes.
+func (n Node) Label(prefixes []string) string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, l := range n {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if i < len(prefixes) {
+			fmt.Fprintf(&b, "%s%d", prefixes[i], l)
+		} else {
+			fmt.Fprintf(&b, "%d", l)
+		}
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// Lattice is the full generalization lattice for a vector of hierarchy
+// heights.
+type Lattice struct {
+	dims []int
+}
+
+// New builds a lattice with the given per-attribute maximum levels. All
+// dimensions must be non-negative and there must be at least one.
+func New(dims []int) (*Lattice, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("lattice: no dimensions")
+	}
+	for i, d := range dims {
+		if d < 0 {
+			return nil, fmt.Errorf("lattice: dimension %d has negative height %d", i, d)
+		}
+	}
+	c := make([]int, len(dims))
+	copy(c, dims)
+	return &Lattice{dims: c}, nil
+}
+
+// Dims returns a copy of the dimension vector.
+func (l *Lattice) Dims() []int {
+	c := make([]int, len(l.dims))
+	copy(c, l.dims)
+	return c
+}
+
+// NumAttrs returns the number of attributes (vector length).
+func (l *Lattice) NumAttrs() int { return len(l.dims) }
+
+// Height returns height(GL): the sum of all dimension heights.
+func (l *Lattice) Height() int {
+	h := 0
+	for _, d := range l.dims {
+		h += d
+	}
+	return h
+}
+
+// Size returns the total number of nodes: prod(dims[i]+1).
+func (l *Lattice) Size() int {
+	n := 1
+	for _, d := range l.dims {
+		n *= d + 1
+	}
+	return n
+}
+
+// Bottom returns the all-zeros node (no generalization).
+func (l *Lattice) Bottom() Node { return make(Node, len(l.dims)) }
+
+// Top returns the maximal node (full generalization).
+func (l *Lattice) Top() Node {
+	t := make(Node, len(l.dims))
+	copy(t, l.dims)
+	return t
+}
+
+// Contains reports whether the node is a valid member of the lattice.
+func (l *Lattice) Contains(n Node) bool {
+	if len(n) != len(l.dims) {
+		return false
+	}
+	for i, v := range n {
+		if v < 0 || v > l.dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Successors returns the immediate generalizations of n (one level up in
+// a single coordinate).
+func (l *Lattice) Successors(n Node) []Node {
+	var out []Node
+	for i := range n {
+		if n[i] < l.dims[i] {
+			s := n.Clone()
+			s[i]++
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Predecessors returns the immediate specializations of n (one level
+// down in a single coordinate).
+func (l *Lattice) Predecessors(n Node) []Node {
+	var out []Node
+	for i := range n {
+		if n[i] > 0 {
+			p := n.Clone()
+			p[i]--
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// NodesAtHeight enumerates all nodes with the given height, in
+// lexicographic order. Heights outside [0, Height()] yield nil.
+func (l *Lattice) NodesAtHeight(h int) []Node {
+	if h < 0 || h > l.Height() {
+		return nil
+	}
+	var out []Node
+	cur := make(Node, len(l.dims))
+	var rec func(i, remaining int)
+	rec = func(i, remaining int) {
+		if i == len(l.dims) {
+			if remaining == 0 {
+				out = append(out, cur.Clone())
+			}
+			return
+		}
+		max := l.dims[i]
+		if max > remaining {
+			max = remaining
+		}
+		for v := 0; v <= max; v++ {
+			cur[i] = v
+			rec(i+1, remaining-v)
+		}
+		cur[i] = 0
+	}
+	rec(0, h)
+	return out
+}
+
+// AllNodes enumerates every node, level by level from bottom to top.
+func (l *Lattice) AllNodes() []Node {
+	out := make([]Node, 0, l.Size())
+	for h := 0; h <= l.Height(); h++ {
+		out = append(out, l.NodesAtHeight(h)...)
+	}
+	return out
+}
+
+// Walk visits every node bottom-up (by height, lexicographic within a
+// height) until fn returns false.
+func (l *Lattice) Walk(fn func(Node) bool) {
+	for h := 0; h <= l.Height(); h++ {
+		for _, n := range l.NodesAtHeight(h) {
+			if !fn(n) {
+				return
+			}
+		}
+	}
+}
+
+// Minimal filters a set of nodes down to its minimal elements under the
+// generalization partial order: nodes with no other set member strictly
+// below them. This implements the paper's Definition 3 over the set of
+// nodes satisfying a property.
+func Minimal(nodes []Node) []Node {
+	var out []Node
+	for i, n := range nodes {
+		minimal := true
+		for j, m := range nodes {
+			if i != j && n.StrictGeneralizationOf(m) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, n)
+		}
+	}
+	return out
+}

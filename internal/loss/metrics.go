@@ -1,0 +1,181 @@
+// Package loss implements information-loss (data utility) metrics for
+// masked microdata: Sweeney's precision (Prec), the discernibility
+// metric (DM), the normalized average equivalence class size (C_AVG),
+// generalization height, entropy-based loss and the suppression ratio.
+// The paper motivates minimal generalizations by data usefulness; these
+// metrics let the benchmark harness compare the candidates the searches
+// return.
+package loss
+
+import (
+	"fmt"
+	"math"
+
+	"psk/internal/lattice"
+	"psk/internal/table"
+)
+
+// HeightRatio is the simplest loss proxy: the node height divided by
+// the lattice height. 0 = no generalization, 1 = full generalization.
+func HeightRatio(node lattice.Node, lat *lattice.Lattice) float64 {
+	if lat.Height() == 0 {
+		return 0
+	}
+	return float64(node.Height()) / float64(lat.Height())
+}
+
+// Precision computes Sweeney's Prec metric for full-domain
+// generalization: one minus the average, over all QI cells, of the cell
+// generalization level divided by its hierarchy height. Suppressed
+// tuples count as fully generalized. heights[i] is the hierarchy height
+// of QI i; n is the original (pre-suppression) row count; kept is the
+// number of released rows.
+func Precision(node lattice.Node, heights []int, n, kept int) (float64, error) {
+	if len(node) != len(heights) {
+		return 0, fmt.Errorf("loss: node has %d attributes, heights has %d", len(node), len(heights))
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("loss: non-positive original size %d", n)
+	}
+	if kept < 0 || kept > n {
+		return 0, fmt.Errorf("loss: kept %d outside [0, %d]", kept, n)
+	}
+	total := 0.0
+	for i, h := range heights {
+		if h == 0 {
+			continue
+		}
+		// Released tuples lose node[i]/h per cell; suppressed tuples
+		// lose the full cell.
+		total += float64(kept)*float64(node[i])/float64(h) + float64(n-kept)
+	}
+	cells := float64(n * len(heights))
+	if cells == 0 {
+		return 1, nil
+	}
+	return 1 - total/cells, nil
+}
+
+// Discernibility computes the discernibility metric DM: every released
+// tuple is charged the size of its QI-group; every suppressed tuple is
+// charged the original table size n.
+func Discernibility(mm *table.Table, qis []string, n int) (int, error) {
+	if n < mm.NumRows() {
+		return 0, fmt.Errorf("loss: original size %d smaller than released %d", n, mm.NumRows())
+	}
+	groups, err := mm.GroupBy(qis...)
+	if err != nil {
+		return 0, err
+	}
+	dm := 0
+	for _, g := range groups {
+		dm += g.Size() * g.Size()
+	}
+	dm += (n - mm.NumRows()) * n
+	return dm, nil
+}
+
+// AvgGroupRatio computes C_AVG = (released / groups) / k: how much
+// larger the average QI-group is than the minimum k requires. 1.0 is
+// optimal.
+func AvgGroupRatio(mm *table.Table, qis []string, k int) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("loss: k must be >= 1, got %d", k)
+	}
+	if mm.NumRows() == 0 {
+		return 0, nil
+	}
+	groups, err := mm.NumGroups(qis...)
+	if err != nil {
+		return 0, err
+	}
+	return float64(mm.NumRows()) / float64(groups) / float64(k), nil
+}
+
+// SuppressionRatio is the fraction of original tuples that were
+// suppressed.
+func SuppressionRatio(n, kept int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("loss: non-positive original size %d", n)
+	}
+	if kept < 0 || kept > n {
+		return 0, fmt.Errorf("loss: kept %d outside [0, %d]", kept, n)
+	}
+	return float64(n-kept) / float64(n), nil
+}
+
+// EntropyLoss measures, per QI attribute, the reduction in Shannon
+// entropy from the initial to the masked column, summed over the QIs.
+// Generalization merges values, so masked entropy never exceeds the
+// original; the difference (in bits) is the information lost.
+func EntropyLoss(im, mm *table.Table, qis []string) (float64, error) {
+	total := 0.0
+	for _, q := range qis {
+		hIM, err := columnEntropy(im, q)
+		if err != nil {
+			return 0, err
+		}
+		hMM, err := columnEntropy(mm, q)
+		if err != nil {
+			return 0, err
+		}
+		total += hIM - hMM
+	}
+	return total, nil
+}
+
+func columnEntropy(t *table.Table, attr string) (float64, error) {
+	vc, err := t.ValueCounts(attr)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, c := range vc {
+		n += c.Count
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	h := 0.0
+	for _, c := range vc {
+		p := float64(c.Count) / float64(n)
+		h -= p * math.Log2(p)
+	}
+	return h, nil
+}
+
+// Report bundles every metric for one masked microdata.
+type Report struct {
+	Node             lattice.Node
+	HeightRatio      float64
+	Precision        float64
+	Discernibility   int
+	AvgGroupRatio    float64
+	SuppressionRatio float64
+	EntropyLossBits  float64
+}
+
+// Measure computes the full metric report for a masked microdata mm
+// derived from im by generalizing to node (with the given lattice and
+// per-QI hierarchy heights) and suppressing down to mm.NumRows() rows.
+func Measure(im, mm *table.Table, qis []string, node lattice.Node, lat *lattice.Lattice, k int) (Report, error) {
+	heights := lat.Dims()
+	rep := Report{Node: node.Clone(), HeightRatio: HeightRatio(node, lat)}
+	var err error
+	if rep.Precision, err = Precision(node, heights, im.NumRows(), mm.NumRows()); err != nil {
+		return Report{}, err
+	}
+	if rep.Discernibility, err = Discernibility(mm, qis, im.NumRows()); err != nil {
+		return Report{}, err
+	}
+	if rep.AvgGroupRatio, err = AvgGroupRatio(mm, qis, k); err != nil {
+		return Report{}, err
+	}
+	if rep.SuppressionRatio, err = SuppressionRatio(im.NumRows(), mm.NumRows()); err != nil {
+		return Report{}, err
+	}
+	if rep.EntropyLossBits, err = EntropyLoss(im, mm, qis); err != nil {
+		return Report{}, err
+	}
+	return rep, nil
+}

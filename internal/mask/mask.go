@@ -1,0 +1,305 @@
+// Package mask implements the other disclosure-control methods the
+// paper's Section 2 surveys alongside generalization and suppression:
+// microaggregation (Domingo-Ferrer and Mateo-Sanz's MDAV, the paper's
+// reference [5]), rank swapping (Dalenius/Reiss data swapping, [4, 17])
+// and additive noise ([9]). They give the library's users — and the
+// masking-method comparison experiment — the classical alternatives to
+// the k-anonymity family.
+package mask
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"psk/internal/table"
+)
+
+// Microaggregate applies MDAV (Maximum Distance to Average Vector)
+// microaggregation to the named numeric attributes: records are
+// partitioned into groups of at least k (2k-1 at most) by the classic
+// fixed-size heuristic, and every value is replaced by its group mean
+// (rounded for integer columns). The result is k-anonymous with respect
+// to the microaggregated attributes by construction.
+func Microaggregate(t *table.Table, attrs []string, k int) (*table.Table, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("mask: microaggregation k must be >= 2, got %d", k)
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("mask: no attributes to microaggregate")
+	}
+	n := t.NumRows()
+	if n < k {
+		return nil, fmt.Errorf("mask: table has %d rows, fewer than k = %d", n, k)
+	}
+	cols := make([]table.Column, len(attrs))
+	for i, a := range attrs {
+		c, err := t.Column(a)
+		if err != nil {
+			return nil, err
+		}
+		if c.Type() == table.String {
+			return nil, fmt.Errorf("mask: attribute %q is categorical; microaggregation needs numeric data", a)
+		}
+		cols[i] = c
+	}
+
+	// Normalize each attribute to zero mean / unit range for distance.
+	vecs := make([][]float64, n)
+	mins := make([]float64, len(cols))
+	ranges := make([]float64, len(cols))
+	for j, c := range cols {
+		lo, hi := c.Value(0).Float(), c.Value(0).Float()
+		for r := 1; r < n; r++ {
+			v := c.Value(r).Float()
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		mins[j] = lo
+		ranges[j] = hi - lo
+		if ranges[j] == 0 {
+			ranges[j] = 1
+		}
+	}
+	for r := 0; r < n; r++ {
+		vecs[r] = make([]float64, len(cols))
+		for j, c := range cols {
+			vecs[r][j] = (c.Value(r).Float() - mins[j]) / ranges[j]
+		}
+	}
+
+	dist2 := func(a, b []float64) float64 {
+		d := 0.0
+		for i := range a {
+			diff := a[i] - b[i]
+			d += diff * diff
+		}
+		return d
+	}
+	centroid := func(rows []int) []float64 {
+		c := make([]float64, len(cols))
+		for _, r := range rows {
+			for j := range c {
+				c[j] += vecs[r][j]
+			}
+		}
+		for j := range c {
+			c[j] /= float64(len(rows))
+		}
+		return c
+	}
+	farthest := func(from []float64, rows []int) int {
+		best, bestD := rows[0], -1.0
+		for _, r := range rows {
+			d := dist2(from, vecs[r])
+			if d > bestD {
+				best, bestD = r, d
+			}
+		}
+		return best
+	}
+	nearestK := func(seed int, rows []int) []int {
+		sorted := make([]int, len(rows))
+		copy(sorted, rows)
+		sort.Slice(sorted, func(a, b int) bool {
+			da, db := dist2(vecs[seed], vecs[sorted[a]]), dist2(vecs[seed], vecs[sorted[b]])
+			if da != db {
+				return da < db
+			}
+			return sorted[a] < sorted[b]
+		})
+		return sorted[:k]
+	}
+
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	groupOf := make([]int, n)
+	groups := 0
+	for len(remaining) >= 2*k {
+		// MDAV: r = farthest from centroid, s = farthest from r; carve a
+		// k-group around each.
+		c := centroid(remaining)
+		r := farthest(c, remaining)
+		gr := nearestK(r, remaining)
+		remaining = without(remaining, gr)
+		assign(groupOf, gr, groups)
+		groups++
+
+		if len(remaining) == 0 {
+			break
+		}
+		s := farthest(vecs[r], remaining)
+		gs := nearestK(s, remaining)
+		remaining = without(remaining, gs)
+		assign(groupOf, gs, groups)
+		groups++
+	}
+	if len(remaining) > 0 {
+		assign(groupOf, remaining, groups)
+		groups++
+	}
+
+	// Replace each attribute value with the group mean.
+	out := t
+	for j, attr := range attrs {
+		sums := make([]float64, groups)
+		counts := make([]int, groups)
+		for r := 0; r < n; r++ {
+			sums[groupOf[r]] += cols[j].Value(r).Float()
+			counts[groupOf[r]]++
+		}
+		isInt := cols[j].Type() == table.Int
+		row := 0
+		var err error
+		out, err = out.MapColumn(attr, func(table.Value) (string, error) {
+			g := groupOf[row]
+			row++
+			mean := sums[g] / float64(counts[g])
+			if isInt {
+				return table.IV(int64(math.Round(mean))).Str(), nil
+			}
+			return table.FV(mean).Str(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func without(rows, drop []int) []int {
+	doomed := make(map[int]bool, len(drop))
+	for _, r := range drop {
+		doomed[r] = true
+	}
+	out := rows[:0]
+	for _, r := range rows {
+		if !doomed[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func assign(groupOf []int, rows []int, g int) {
+	for _, r := range rows {
+		groupOf[r] = g
+	}
+}
+
+// RankSwap applies rank swapping to one numeric attribute: values are
+// sorted and each is swapped with a partner whose rank differs by at
+// most pct percent of n (Reiss-style practical data swapping). The
+// marginal distribution is preserved exactly; rank correlations with
+// other attributes degrade with pct.
+func RankSwap(t *table.Table, attr string, pct float64, seed int64) (*table.Table, error) {
+	if pct <= 0 || pct > 100 {
+		return nil, fmt.Errorf("mask: rank swap percentage must be in (0, 100], got %g", pct)
+	}
+	col, err := t.Column(attr)
+	if err != nil {
+		return nil, err
+	}
+	if col.Type() == table.String {
+		return nil, fmt.Errorf("mask: attribute %q is categorical; rank swapping needs numeric data", attr)
+	}
+	n := t.NumRows()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return col.Value(order[a]).Float() < col.Value(order[b]).Float()
+	})
+	window := int(float64(n) * pct / 100)
+	if window < 1 {
+		window = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	swapped := make([]bool, n)
+	newVal := make([]table.Value, n)
+	for i := range order {
+		newVal[order[i]] = col.Value(order[i])
+	}
+	for i := 0; i < n; i++ {
+		if swapped[i] {
+			continue
+		}
+		// Partner rank within the window, unswapped.
+		lo, hi := i+1, i+window
+		if hi >= n {
+			hi = n - 1
+		}
+		var candidates []int
+		for j := lo; j <= hi; j++ {
+			if !swapped[j] {
+				candidates = append(candidates, j)
+			}
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		j := candidates[rng.Intn(len(candidates))]
+		ri, rj := order[i], order[j]
+		newVal[ri], newVal[rj] = col.Value(rj), col.Value(ri)
+		swapped[i], swapped[j] = true, true
+	}
+	row := 0
+	return t.MapColumn(attr, func(table.Value) (string, error) {
+		v := newVal[row]
+		row++
+		return v.Str(), nil
+	})
+}
+
+// AddNoise perturbs one numeric attribute with zero-mean Gaussian noise
+// whose standard deviation is scale times the attribute's observed
+// standard deviation (Kim-style additive noise, the paper's reference
+// [9]). Integer columns are rounded.
+func AddNoise(t *table.Table, attr string, scale float64, seed int64) (*table.Table, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("mask: noise scale must be positive, got %g", scale)
+	}
+	col, err := t.Column(attr)
+	if err != nil {
+		return nil, err
+	}
+	if col.Type() == table.String {
+		return nil, fmt.Errorf("mask: attribute %q is categorical; noise addition needs numeric data", attr)
+	}
+	n := t.NumRows()
+	if n == 0 {
+		return t, nil
+	}
+	mean := 0.0
+	for r := 0; r < n; r++ {
+		mean += col.Value(r).Float()
+	}
+	mean /= float64(n)
+	variance := 0.0
+	for r := 0; r < n; r++ {
+		d := col.Value(r).Float() - mean
+		variance += d * d
+	}
+	variance /= float64(n)
+	sigma := math.Sqrt(variance) * scale
+
+	rng := rand.New(rand.NewSource(seed))
+	isInt := col.Type() == table.Int
+	row := 0
+	return t.MapColumn(attr, func(v table.Value) (string, error) {
+		noisy := v.Float() + rng.NormFloat64()*sigma
+		row++
+		if isInt {
+			return table.IV(int64(math.Round(noisy))).Str(), nil
+		}
+		return table.FV(noisy).Str(), nil
+	})
+}

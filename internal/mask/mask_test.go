@@ -1,0 +1,253 @@
+package mask
+
+import (
+	"math"
+	"testing"
+
+	"psk/internal/core"
+	"psk/internal/dataset"
+	"psk/internal/table"
+)
+
+func numericTable(t *testing.T) *table.Table {
+	t.Helper()
+	sch := table.MustSchema(
+		table.Field{Name: "Age", Type: table.Int},
+		table.Field{Name: "Income", Type: table.Int},
+		table.Field{Name: "Illness", Type: table.String},
+	)
+	tbl, err := table.FromText(sch, [][]string{
+		{"23", "20000", "Flu"},
+		{"25", "22000", "Cold"},
+		{"27", "21000", "Flu"},
+		{"45", "50000", "Asthma"},
+		{"47", "52000", "Cold"},
+		{"49", "51000", "Flu"},
+		{"65", "30000", "Asthma"},
+		{"67", "31000", "Cold"},
+		{"69", "32000", "Flu"},
+		{"70", "33000", "Asthma"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestMicroaggregateKAnonymity(t *testing.T) {
+	tbl := numericTable(t)
+	out, err := Microaggregate(tbl, []string{"Age", "Income"}, 3)
+	if err != nil {
+		t.Fatalf("Microaggregate: %v", err)
+	}
+	if out.NumRows() != tbl.NumRows() {
+		t.Errorf("rows = %d", out.NumRows())
+	}
+	// The microaggregated attributes are k-anonymous by construction.
+	ok, err := core.IsKAnonymous(out, []string{"Age", "Income"}, 3)
+	if err != nil || !ok {
+		t.Errorf("output not 3-anonymous on microaggregated attrs: %v", err)
+	}
+	// Confidential column untouched.
+	v, _ := out.Value(0, "Illness")
+	if v.Str() != "Flu" {
+		t.Errorf("illness mutated: %v", v)
+	}
+	// Group means are plausible: first cluster of ages ~23-27 -> mean 25.
+	a0, _ := out.Value(0, "Age")
+	if a0.Int() < 20 || a0.Int() > 30 {
+		t.Errorf("age mean = %v, expected in the 20s", a0)
+	}
+}
+
+// TestMicroaggregateMeanPreservation: MDAV preserves the attribute mean
+// exactly (each value is replaced by its group mean).
+func TestMicroaggregateMeanPreservation(t *testing.T) {
+	tbl := numericTable(t)
+	out, err := Microaggregate(tbl, []string{"Income"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumIn, sumOut := 0.0, 0.0
+	for r := 0; r < tbl.NumRows(); r++ {
+		vi, _ := tbl.Value(r, "Income")
+		vo, _ := out.Value(r, "Income")
+		sumIn += vi.Float()
+		sumOut += vo.Float()
+	}
+	// Integer rounding introduces at most 0.5 per row.
+	if math.Abs(sumIn-sumOut) > 0.5*float64(tbl.NumRows()) {
+		t.Errorf("mean drifted: %g -> %g", sumIn, sumOut)
+	}
+}
+
+func TestMicroaggregateGroupSizes(t *testing.T) {
+	// On Adult ages the groups must all be within [k, 2k-1].
+	src, err := dataset.Generate(2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Microaggregate(src, []string{dataset.Age}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := out.GroupBy(dataset.Age)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range groups {
+		// Distinct age means can coincide across MDAV groups, so only
+		// the lower bound is a hard invariant.
+		if g.Size() < 5 {
+			t.Errorf("group %s has %d < k members", g.KeyString(), g.Size())
+		}
+	}
+}
+
+func TestMicroaggregateValidation(t *testing.T) {
+	tbl := numericTable(t)
+	if _, err := Microaggregate(tbl, []string{"Age"}, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := Microaggregate(tbl, nil, 3); err == nil {
+		t.Error("no attributes accepted")
+	}
+	if _, err := Microaggregate(tbl, []string{"Illness"}, 3); err == nil {
+		t.Error("categorical attribute accepted")
+	}
+	if _, err := Microaggregate(tbl, []string{"Missing"}, 3); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := Microaggregate(tbl.Head(2), []string{"Age"}, 3); err == nil {
+		t.Error("n < k accepted")
+	}
+}
+
+func TestRankSwapPreservesMarginal(t *testing.T) {
+	tbl := numericTable(t)
+	out, err := RankSwap(tbl, "Income", 30, 42)
+	if err != nil {
+		t.Fatalf("RankSwap: %v", err)
+	}
+	// The multiset of incomes is exactly preserved.
+	countIn := make(map[int64]int)
+	countOut := make(map[int64]int)
+	changed := false
+	for r := 0; r < tbl.NumRows(); r++ {
+		vi, _ := tbl.Value(r, "Income")
+		vo, _ := out.Value(r, "Income")
+		countIn[vi.Int()]++
+		countOut[vo.Int()]++
+		if vi.Int() != vo.Int() {
+			changed = true
+		}
+	}
+	for v, c := range countIn {
+		if countOut[v] != c {
+			t.Errorf("marginal broken at %d: %d vs %d", v, c, countOut[v])
+		}
+	}
+	if !changed {
+		t.Error("rank swap changed nothing")
+	}
+	// Deterministic for a seed.
+	again, _ := RankSwap(tbl, "Income", 30, 42)
+	for r := 0; r < out.NumRows(); r++ {
+		a, _ := out.Value(r, "Income")
+		b, _ := again.Value(r, "Income")
+		if !a.Equal(b) {
+			t.Fatal("same-seed swaps differ")
+		}
+	}
+}
+
+func TestRankSwapWindowBound(t *testing.T) {
+	// With a 10% window on 10 rows, swap partners are rank-adjacent:
+	// the value at each position moves at most 1 rank.
+	tbl := numericTable(t)
+	out, err := RankSwap(tbl, "Age", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < tbl.NumRows(); r++ {
+		vi, _ := tbl.Value(r, "Age")
+		vo, _ := out.Value(r, "Age")
+		if math.Abs(float64(vi.Int()-vo.Int())) > 25 {
+			t.Errorf("row %d moved too far: %d -> %d", r, vi.Int(), vo.Int())
+		}
+	}
+}
+
+func TestRankSwapValidation(t *testing.T) {
+	tbl := numericTable(t)
+	if _, err := RankSwap(tbl, "Age", 0, 1); err == nil {
+		t.Error("pct=0 accepted")
+	}
+	if _, err := RankSwap(tbl, "Age", 101, 1); err == nil {
+		t.Error("pct>100 accepted")
+	}
+	if _, err := RankSwap(tbl, "Illness", 10, 1); err == nil {
+		t.Error("categorical attribute accepted")
+	}
+	if _, err := RankSwap(tbl, "Missing", 10, 1); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestAddNoise(t *testing.T) {
+	tbl := numericTable(t)
+	out, err := AddNoise(tbl, "Income", 0.2, 7)
+	if err != nil {
+		t.Fatalf("AddNoise: %v", err)
+	}
+	changed := 0
+	for r := 0; r < tbl.NumRows(); r++ {
+		vi, _ := tbl.Value(r, "Income")
+		vo, _ := out.Value(r, "Income")
+		if vi.Int() != vo.Int() {
+			changed++
+		}
+	}
+	if changed < tbl.NumRows()/2 {
+		t.Errorf("only %d values perturbed", changed)
+	}
+	// Deterministic.
+	again, _ := AddNoise(tbl, "Income", 0.2, 7)
+	for r := 0; r < out.NumRows(); r++ {
+		a, _ := out.Value(r, "Income")
+		b, _ := again.Value(r, "Income")
+		if !a.Equal(b) {
+			t.Fatal("same-seed noise differs")
+		}
+	}
+	// Mean roughly preserved (zero-mean noise, small sample tolerance).
+	sumIn, sumOut := 0.0, 0.0
+	for r := 0; r < tbl.NumRows(); r++ {
+		vi, _ := tbl.Value(r, "Income")
+		vo, _ := out.Value(r, "Income")
+		sumIn += vi.Float()
+		sumOut += vo.Float()
+	}
+	sd := 11883.0 * 0.2 // attribute sd ~11883
+	if math.Abs(sumIn-sumOut) > 4*sd*math.Sqrt(float64(tbl.NumRows())) {
+		t.Errorf("mean drifted: %g -> %g", sumIn/10, sumOut/10)
+	}
+}
+
+func TestAddNoiseValidation(t *testing.T) {
+	tbl := numericTable(t)
+	if _, err := AddNoise(tbl, "Age", 0, 1); err == nil {
+		t.Error("scale=0 accepted")
+	}
+	if _, err := AddNoise(tbl, "Illness", 0.1, 1); err == nil {
+		t.Error("categorical attribute accepted")
+	}
+	if _, err := AddNoise(tbl, "Missing", 0.1, 1); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	empty := tbl.Filter(func(int) bool { return false })
+	out, err := AddNoise(empty, "Age", 0.1, 1)
+	if err != nil || out.NumRows() != 0 {
+		t.Errorf("empty table: %v", err)
+	}
+}

@@ -1,0 +1,141 @@
+package minisql
+
+// The abstract syntax tree of the supported SELECT statement.
+
+// Query is the root node.
+type Query struct {
+	// Star is true for SELECT *.
+	Star bool
+	// Items are the select-list entries (empty when Star).
+	Items []SelectItem
+	// Table is the FROM relation name.
+	Table string
+	// Where is the optional row filter.
+	Where Expr
+	// GroupBy are the optional grouping column names.
+	GroupBy []string
+	// Having is the optional group filter (may reference aggregates).
+	Having Expr
+	// OrderBy are the optional output orderings.
+	OrderBy []OrderKey
+	// Limit caps the output rows; -1 means no limit.
+	Limit int
+}
+
+// SelectItem is one select-list entry: either a plain column reference
+// or an aggregate call.
+type SelectItem struct {
+	// Expr is the computed expression (a ColumnRef or AggregateCall).
+	Expr Expr
+	// Alias is the optional AS name.
+	Alias string
+}
+
+// OrderKey orders output by a select-list column (by alias or by its
+// rendered name).
+type OrderKey struct {
+	Column string
+	Desc   bool
+}
+
+// Expr is a boolean/value expression evaluated per row or per group.
+type Expr interface {
+	// Name renders the canonical column header for the expression.
+	Name() string
+}
+
+// ColumnRef references a base-table column.
+type ColumnRef struct {
+	Column string
+}
+
+// Name implements Expr.
+func (c *ColumnRef) Name() string { return c.Column }
+
+// Literal is a string or numeric constant.
+type Literal struct {
+	// Text is the literal text; IsNum records whether it was a number.
+	Text  string
+	IsNum bool
+	Num   float64
+}
+
+// Name implements Expr.
+func (l *Literal) Name() string { return l.Text }
+
+// AggFunc identifies an aggregate function.
+type AggFunc int
+
+// Supported aggregates.
+const (
+	AggCount AggFunc = iota
+	AggCountDistinct
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggCountDistinct:
+		return "COUNT(DISTINCT)"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	}
+	return "AGG"
+}
+
+// AggregateCall is COUNT(*), COUNT(col), COUNT(DISTINCT col), SUM(col),
+// MIN(col), MAX(col) or AVG(col).
+type AggregateCall struct {
+	Func AggFunc
+	// Column is empty for COUNT(*).
+	Column string
+}
+
+// Name implements Expr.
+func (a *AggregateCall) Name() string {
+	switch {
+	case a.Func == AggCount && a.Column == "":
+		return "COUNT(*)"
+	case a.Func == AggCountDistinct:
+		return "COUNT(DISTINCT " + a.Column + ")"
+	default:
+		return a.Func.String() + "(" + a.Column + ")"
+	}
+}
+
+// Compare is a binary comparison: =, <>, <, <=, >, >=.
+type Compare struct {
+	Op          string
+	Left, Right Expr
+}
+
+// Name implements Expr.
+func (c *Compare) Name() string { return c.Left.Name() + c.Op + c.Right.Name() }
+
+// Logical is AND / OR over two sub-expressions.
+type Logical struct {
+	Op          string // "AND" or "OR"
+	Left, Right Expr
+}
+
+// Name implements Expr.
+func (l *Logical) Name() string { return l.Left.Name() + " " + l.Op + " " + l.Right.Name() }
+
+// Not negates a boolean expression.
+type Not struct {
+	Inner Expr
+}
+
+// Name implements Expr.
+func (n *Not) Name() string { return "NOT " + n.Inner.Name() }

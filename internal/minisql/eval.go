@@ -1,0 +1,416 @@
+package minisql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"psk/internal/table"
+)
+
+// Catalog resolves table names for queries.
+type Catalog map[string]*table.Table
+
+// Run parses and executes a query against the catalog, returning the
+// result as a new table.
+func Run(cat Catalog, query string) (*table.Table, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Exec(cat, q)
+}
+
+// Exec executes a parsed query.
+func Exec(cat Catalog, q *Query) (*table.Table, error) {
+	src, ok := cat[q.Table]
+	if !ok {
+		return nil, fmt.Errorf("minisql: unknown table %q", q.Table)
+	}
+
+	// WHERE: filter rows.
+	rows := make([]int, 0, src.NumRows())
+	for r := 0; r < src.NumRows(); r++ {
+		if q.Where != nil {
+			keep, err := evalBool(q.Where, src, []int{r}, nil)
+			if err != nil {
+				return nil, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		rows = append(rows, r)
+	}
+
+	if q.Star {
+		if q.GroupBy != nil || q.Having != nil {
+			return nil, fmt.Errorf("minisql: SELECT * cannot be combined with GROUP BY/HAVING")
+		}
+		out, err := src.Gather(rows)
+		if err != nil {
+			return nil, err
+		}
+		return finish(out, q)
+	}
+
+	hasAgg := false
+	for _, it := range q.Items {
+		if containsAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+
+	switch {
+	case len(q.GroupBy) > 0:
+		return execGrouped(src, q, rows)
+	case hasAgg:
+		// Aggregates without GROUP BY: one output row over all rows.
+		return execAggregateAll(src, q, rows)
+	default:
+		return execProjection(src, q, rows)
+	}
+}
+
+// finish applies ORDER BY and LIMIT to a result table.
+func finish(out *table.Table, q *Query) (*table.Table, error) {
+	var err error
+	if len(q.OrderBy) > 0 {
+		out, err = orderBy(out, q.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if q.Limit >= 0 {
+		out = out.Head(q.Limit)
+	}
+	return out, nil
+}
+
+func orderBy(t *table.Table, keys []OrderKey) (*table.Table, error) {
+	cols := make([]table.Column, len(keys))
+	for i, k := range keys {
+		c, err := t.Column(k.Column)
+		if err != nil {
+			return nil, fmt.Errorf("minisql: ORDER BY: %w", err)
+		}
+		cols[i] = c
+	}
+	rows := make([]int, t.NumRows())
+	for i := range rows {
+		rows[i] = i
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for i, c := range cols {
+			cmp := c.Value(rows[a]).Compare(c.Value(rows[b]))
+			if keys[i].Desc {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return t.Gather(rows)
+}
+
+// itemName returns the output column header for a select item.
+func itemName(it SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	return it.Expr.Name()
+}
+
+func execProjection(src *table.Table, q *Query, rows []int) (*table.Table, error) {
+	fields := make([]table.Field, len(q.Items))
+	for i, it := range q.Items {
+		fields[i] = table.Field{Name: itemName(it), Type: table.String}
+	}
+	sch, err := table.NewSchema(fields...)
+	if err != nil {
+		return nil, fmt.Errorf("minisql: %w", err)
+	}
+	b, err := table.NewBuilder(sch)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		rec := make([]table.Value, len(q.Items))
+		for i, it := range q.Items {
+			v, err := evalValue(it.Expr, src, []int{r}, nil)
+			if err != nil {
+				return nil, err
+			}
+			rec[i] = v
+		}
+		b.Append(rec...)
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return finish(out, q)
+}
+
+func execAggregateAll(src *table.Table, q *Query, rows []int) (*table.Table, error) {
+	fields := make([]table.Field, len(q.Items))
+	for i, it := range q.Items {
+		fields[i] = table.Field{Name: itemName(it), Type: table.String}
+	}
+	sch, err := table.NewSchema(fields...)
+	if err != nil {
+		return nil, fmt.Errorf("minisql: %w", err)
+	}
+	b, err := table.NewBuilder(sch)
+	if err != nil {
+		return nil, err
+	}
+	rec := make([]table.Value, len(q.Items))
+	for i, it := range q.Items {
+		if !containsAggregate(it.Expr) {
+			return nil, fmt.Errorf("minisql: mixing aggregates and bare columns requires GROUP BY")
+		}
+		v, err := evalValue(it.Expr, src, rows, nil)
+		if err != nil {
+			return nil, err
+		}
+		rec[i] = v
+	}
+	b.Append(rec...)
+	out, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return finish(out, q)
+}
+
+func execGrouped(src *table.Table, q *Query, rows []int) (*table.Table, error) {
+	// Validate that bare column references are grouping columns.
+	grouped := make(map[string]bool, len(q.GroupBy))
+	for _, g := range q.GroupBy {
+		grouped[g] = true
+	}
+	for _, it := range q.Items {
+		if ref, ok := it.Expr.(*ColumnRef); ok && !grouped[ref.Column] {
+			return nil, fmt.Errorf("minisql: column %q must appear in GROUP BY or an aggregate", ref.Column)
+		}
+	}
+
+	groupCols := make([]table.Column, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		c, err := src.Column(g)
+		if err != nil {
+			return nil, fmt.Errorf("minisql: GROUP BY: %w", err)
+		}
+		groupCols[i] = c
+	}
+
+	// Partition filtered rows by group key.
+	index := make(map[string]int)
+	var groups [][]int
+	var sb strings.Builder
+	for _, r := range rows {
+		sb.Reset()
+		for _, c := range groupCols {
+			sb.WriteString(c.Value(r).Str())
+			sb.WriteByte(0)
+		}
+		key := sb.String()
+		gi, ok := index[key]
+		if !ok {
+			gi = len(groups)
+			index[key] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], r)
+	}
+
+	keyIndex := make(map[string]int, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		keyIndex[g] = i
+	}
+
+	fields := make([]table.Field, len(q.Items))
+	for i, it := range q.Items {
+		fields[i] = table.Field{Name: itemName(it), Type: table.String}
+	}
+	sch, err := table.NewSchema(fields...)
+	if err != nil {
+		return nil, fmt.Errorf("minisql: %w", err)
+	}
+	b, err := table.NewBuilder(sch)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, g := range groups {
+		if q.Having != nil {
+			keep, err := evalBool(q.Having, src, g, keyIndex)
+			if err != nil {
+				return nil, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		rec := make([]table.Value, len(q.Items))
+		for i, it := range q.Items {
+			v, err := evalValue(it.Expr, src, g, keyIndex)
+			if err != nil {
+				return nil, err
+			}
+			rec[i] = v
+		}
+		b.Append(rec...)
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return finish(out, q)
+}
+
+func containsAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case *AggregateCall:
+		return true
+	case *Compare:
+		return containsAggregate(x.Left) || containsAggregate(x.Right)
+	case *Logical:
+		return containsAggregate(x.Left) || containsAggregate(x.Right)
+	case *Not:
+		return containsAggregate(x.Inner)
+	default:
+		return false
+	}
+}
+
+// evalValue evaluates an expression over a row set. For per-row
+// evaluation the set has one element. keyIndex, when non-nil, marks
+// grouped evaluation: bare columns take the value of the first row.
+func evalValue(e Expr, src *table.Table, rows []int, keyIndex map[string]int) (table.Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		if x.IsNum {
+			if x.Num == float64(int64(x.Num)) {
+				return table.IV(int64(x.Num)), nil
+			}
+			return table.FV(x.Num), nil
+		}
+		return table.SV(x.Text), nil
+	case *ColumnRef:
+		col, err := src.Column(x.Column)
+		if err != nil {
+			return table.Value{}, fmt.Errorf("minisql: %w", err)
+		}
+		if len(rows) == 0 {
+			return table.Value{}, fmt.Errorf("minisql: column %q evaluated over empty row set", x.Column)
+		}
+		return col.Value(rows[0]), nil
+	case *AggregateCall:
+		return evalAggregate(x, src, rows)
+	default:
+		return table.Value{}, fmt.Errorf("minisql: boolean expression used as value")
+	}
+}
+
+func evalAggregate(a *AggregateCall, src *table.Table, rows []int) (table.Value, error) {
+	if a.Func == AggCount && a.Column == "" {
+		return table.IV(int64(len(rows))), nil
+	}
+	col, err := src.Column(a.Column)
+	if err != nil {
+		return table.Value{}, fmt.Errorf("minisql: %w", err)
+	}
+	switch a.Func {
+	case AggCount:
+		return table.IV(int64(len(rows))), nil
+	case AggCountDistinct:
+		seen := make(map[int]struct{}, len(rows))
+		for _, r := range rows {
+			seen[col.Code(r)] = struct{}{}
+		}
+		return table.IV(int64(len(seen))), nil
+	case AggSum, AggAvg:
+		sum := 0.0
+		for _, r := range rows {
+			sum += col.Value(r).Float()
+		}
+		if a.Func == AggAvg {
+			if len(rows) == 0 {
+				return table.FV(0), nil
+			}
+			return table.FV(sum / float64(len(rows))), nil
+		}
+		if sum == float64(int64(sum)) {
+			return table.IV(int64(sum)), nil
+		}
+		return table.FV(sum), nil
+	case AggMin, AggMax:
+		if len(rows) == 0 {
+			return table.SV(""), nil
+		}
+		best := col.Value(rows[0])
+		for _, r := range rows[1:] {
+			v := col.Value(r)
+			if (a.Func == AggMin && v.Compare(best) < 0) || (a.Func == AggMax && v.Compare(best) > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return table.Value{}, fmt.Errorf("minisql: unsupported aggregate %v", a.Func)
+}
+
+func evalBool(e Expr, src *table.Table, rows []int, keyIndex map[string]int) (bool, error) {
+	switch x := e.(type) {
+	case *Compare:
+		l, err := evalValue(x.Left, src, rows, keyIndex)
+		if err != nil {
+			return false, err
+		}
+		r, err := evalValue(x.Right, src, rows, keyIndex)
+		if err != nil {
+			return false, err
+		}
+		cmp := l.Compare(r)
+		switch x.Op {
+		case "=":
+			return cmp == 0, nil
+		case "<>":
+			return cmp != 0, nil
+		case "<":
+			return cmp < 0, nil
+		case "<=":
+			return cmp <= 0, nil
+		case ">":
+			return cmp > 0, nil
+		case ">=":
+			return cmp >= 0, nil
+		default:
+			return false, fmt.Errorf("minisql: unknown operator %q", x.Op)
+		}
+	case *Logical:
+		l, err := evalBool(x.Left, src, rows, keyIndex)
+		if err != nil {
+			return false, err
+		}
+		if x.Op == "AND" && !l {
+			return false, nil
+		}
+		if x.Op == "OR" && l {
+			return true, nil
+		}
+		return evalBool(x.Right, src, rows, keyIndex)
+	case *Not:
+		v, err := evalBool(x.Inner, src, rows, keyIndex)
+		if err != nil {
+			return false, err
+		}
+		return !v, nil
+	default:
+		return false, fmt.Errorf("minisql: expression %q is not boolean", e.Name())
+	}
+}

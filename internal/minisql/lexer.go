@@ -1,0 +1,131 @@
+// Package minisql implements a small SQL engine over internal/table
+// relations: a lexer, recursive-descent parser and evaluator for the
+// SELECT subset the paper uses to define its checks —
+//
+//	SELECT COUNT(*) FROM Patient GROUP BY Sex, ZipCode, Age
+//	SELECT COUNT(DISTINCT S) FROM IM
+//
+// — extended with WHERE, HAVING, ORDER BY, LIMIT and the usual
+// aggregates so it is useful as a general inspection tool (cmd/pskcheck
+// exposes it on the command line).
+package minisql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased, identifiers as written
+	pos  int
+}
+
+// keywords recognized by the lexer (matched case-insensitively).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true,
+	"BY": true, "HAVING": true, "ORDER": true, "LIMIT": true,
+	"AND": true, "OR": true, "NOT": true, "AS": true,
+	"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true,
+	"DISTINCT": true, "ASC": true, "DESC": true,
+}
+
+// lex splits the input into tokens.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(input) {
+					return nil, fmt.Errorf("minisql: unterminated string literal at %d", i)
+				}
+				if input[j] == '\'' {
+					// Doubled quote is an escaped quote.
+					if j+1 < len(input) && input[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+			i = j + 1
+		case unicode.IsDigit(c) || (c == '-' && i+1 < len(input) && unicode.IsDigit(rune(input[i+1])) && startsValue(toks)):
+			j := i + 1
+			for j < len(input) && (unicode.IsDigit(rune(input[j])) || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i + 1
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			word := input[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: tokKeyword, text: up, pos: i})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: i})
+			}
+			i = j
+		default:
+			// Multi-character operators first.
+			if i+1 < len(input) {
+				two := input[i : i+2]
+				if two == "<=" || two == ">=" || two == "<>" || two == "!=" {
+					toks = append(toks, token{kind: tokSymbol, text: two, pos: i})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '*', ',', '(', ')', '=', '<', '>':
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+				i++
+			default:
+				return nil, fmt.Errorf("minisql: unexpected character %q at %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}
+
+// startsValue reports whether the previous token position admits a
+// value (so '-' starts a negative number rather than being an
+// operator; minisql has no arithmetic, so this is almost always true).
+func startsValue(toks []token) bool {
+	if len(toks) == 0 {
+		return true
+	}
+	last := toks[len(toks)-1]
+	if last.kind == tokSymbol && last.text != ")" && last.text != "*" {
+		return true
+	}
+	return last.kind == tokKeyword
+}

@@ -1,0 +1,334 @@
+package minisql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses one SELECT statement.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input starting at %q", p.cur().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) eat(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) error {
+	if p.eat(kind, text) {
+		return nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return p.errf("expected %s, found %q", want, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("minisql: parse error at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) query() (*Query, error) {
+	q := &Query{Limit: -1}
+	if err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	if p.eat(tokSymbol, "*") {
+		q.Star = true
+	} else {
+		for {
+			item, err := p.selectItem()
+			if err != nil {
+				return nil, err
+			}
+			q.Items = append(q.Items, item)
+			if !p.eat(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokIdent, "") {
+		return nil, p.errf("expected table name, found %q", p.cur().text)
+	}
+	q.Table = p.cur().text
+	p.pos++
+
+	if p.eat(tokKeyword, "WHERE") {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if p.eat(tokKeyword, "GROUP") {
+		if err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			if !p.at(tokIdent, "") {
+				return nil, p.errf("expected column in GROUP BY, found %q", p.cur().text)
+			}
+			q.GroupBy = append(q.GroupBy, p.cur().text)
+			p.pos++
+			if !p.eat(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.eat(tokKeyword, "HAVING") {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Having = e
+	}
+	if p.eat(tokKeyword, "ORDER") {
+		if err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			key, err := p.orderKey()
+			if err != nil {
+				return nil, err
+			}
+			q.OrderBy = append(q.OrderBy, key)
+			if !p.eat(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.eat(tokKeyword, "LIMIT") {
+		if !p.at(tokNumber, "") {
+			return nil, p.errf("expected number after LIMIT, found %q", p.cur().text)
+		}
+		n, err := strconv.Atoi(p.cur().text)
+		if err != nil || n < 0 {
+			return nil, p.errf("invalid LIMIT %q", p.cur().text)
+		}
+		q.Limit = n
+		p.pos++
+	}
+	return q, nil
+}
+
+func (p *parser) orderKey() (OrderKey, error) {
+	var key OrderKey
+	switch {
+	case p.at(tokIdent, ""):
+		key.Column = p.cur().text
+		p.pos++
+	case p.at(tokKeyword, "COUNT") || p.at(tokKeyword, "SUM") || p.at(tokKeyword, "MIN") ||
+		p.at(tokKeyword, "MAX") || p.at(tokKeyword, "AVG"):
+		agg, err := p.aggregate()
+		if err != nil {
+			return key, err
+		}
+		key.Column = agg.Name()
+	default:
+		return key, p.errf("expected column in ORDER BY, found %q", p.cur().text)
+	}
+	if p.eat(tokKeyword, "DESC") {
+		key.Desc = true
+	} else {
+		p.eat(tokKeyword, "ASC")
+	}
+	return key, nil
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	var item SelectItem
+	e, err := p.primary()
+	if err != nil {
+		return item, err
+	}
+	item.Expr = e
+	if p.eat(tokKeyword, "AS") {
+		if !p.at(tokIdent, "") {
+			return item, p.errf("expected alias after AS, found %q", p.cur().text)
+		}
+		item.Alias = p.cur().text
+		p.pos++
+	}
+	return item, nil
+}
+
+func (p *parser) aggregate() (*AggregateCall, error) {
+	fn := p.cur().text
+	p.pos++
+	if err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	call := &AggregateCall{}
+	switch fn {
+	case "COUNT":
+		call.Func = AggCount
+		if p.eat(tokSymbol, "*") {
+			// COUNT(*)
+		} else {
+			if p.eat(tokKeyword, "DISTINCT") {
+				call.Func = AggCountDistinct
+			}
+			if !p.at(tokIdent, "") {
+				return nil, p.errf("expected column in COUNT, found %q", p.cur().text)
+			}
+			call.Column = p.cur().text
+			p.pos++
+		}
+	case "SUM", "MIN", "MAX", "AVG":
+		switch fn {
+		case "SUM":
+			call.Func = AggSum
+		case "MIN":
+			call.Func = AggMin
+		case "MAX":
+			call.Func = AggMax
+		case "AVG":
+			call.Func = AggAvg
+		}
+		if !p.at(tokIdent, "") {
+			return nil, p.errf("expected column in %s, found %q", fn, p.cur().text)
+		}
+		call.Column = p.cur().text
+		p.pos++
+	default:
+		return nil, p.errf("unknown aggregate %q", fn)
+	}
+	if err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return call, nil
+}
+
+// orExpr := andExpr (OR andExpr)*
+func (p *parser) orExpr() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat(tokKeyword, "OR") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &Logical{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// andExpr := notExpr (AND notExpr)*
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat(tokKeyword, "AND") {
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &Logical{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// notExpr := NOT notExpr | comparison
+func (p *parser) notExpr() (Expr, error) {
+	if p.eat(tokKeyword, "NOT") {
+		inner, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{Inner: inner}, nil
+	}
+	return p.comparison()
+}
+
+// comparison := primary [op primary]
+func (p *parser) comparison() (Expr, error) {
+	if p.eat(tokSymbol, "(") {
+		inner, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		// A parenthesized boolean may still be the left side of a
+		// comparison only if it is actually a value; minisql keeps it
+		// simple and treats parens as boolean grouping only.
+		return inner, nil
+	}
+	left, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"<=", ">=", "<>", "!=", "=", "<", ">"} {
+		if p.eat(tokSymbol, op) {
+			right, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			return &Compare{Op: op, Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+// primary := aggregate | ident | literal
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokKeyword && (t.text == "COUNT" || t.text == "SUM" || t.text == "MIN" || t.text == "MAX" || t.text == "AVG"):
+		return p.aggregate()
+	case t.kind == tokIdent:
+		p.pos++
+		return &ColumnRef{Column: t.text}, nil
+	case t.kind == tokNumber:
+		p.pos++
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("invalid number %q", t.text)
+		}
+		return &Literal{Text: t.text, IsNum: true, Num: f}, nil
+	case t.kind == tokString:
+		p.pos++
+		return &Literal{Text: t.text}, nil
+	default:
+		return nil, p.errf("expected expression, found %q", t.text)
+	}
+}

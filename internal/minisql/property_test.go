@@ -1,0 +1,229 @@
+package minisql
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"psk/internal/table"
+)
+
+// randomRelation generates small random microdata tables for the
+// equivalence properties below: the SQL engine must agree with the
+// table engine's native operators on every query pattern the paper
+// uses.
+type randomRelation struct {
+	tbl *table.Table
+}
+
+func (randomRelation) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size*3 + 1)
+	sch := table.MustSchema(
+		table.Field{Name: "A", Type: table.String},
+		table.Field{Name: "B", Type: table.String},
+		table.Field{Name: "N", Type: table.Int},
+	)
+	letters := []string{"x", "y", "z"}
+	b, _ := table.NewBuilder(sch)
+	for i := 0; i < n; i++ {
+		b.Append(
+			table.SV(letters[r.Intn(len(letters))]),
+			table.SV(letters[r.Intn(len(letters))]),
+			table.IV(int64(r.Intn(6))),
+		)
+	}
+	t, _ := b.Build()
+	return reflect.ValueOf(randomRelation{tbl: t})
+}
+
+// Property: SELECT COUNT(*) GROUP BY matches Table.GroupBy — the
+// paper's k-anonymity check gives identical counts through SQL and
+// through the native engine.
+func TestSQLGroupByEquivalence(t *testing.T) {
+	f := func(rel randomRelation) bool {
+		if rel.tbl.NumRows() == 0 {
+			return true
+		}
+		out, err := Run(Catalog{"T": rel.tbl}, "SELECT A, B, COUNT(*) AS n FROM T GROUP BY A, B")
+		if err != nil {
+			return false
+		}
+		groups, err := rel.tbl.GroupBy("A", "B")
+		if err != nil {
+			return false
+		}
+		if out.NumRows() != len(groups) {
+			return false
+		}
+		want := make(map[string]int, len(groups))
+		for _, g := range groups {
+			want[g.Key[0].Str()+"\x00"+g.Key[1].Str()] = g.Size()
+		}
+		for r := 0; r < out.NumRows(); r++ {
+			a, _ := out.Value(r, "A")
+			b, _ := out.Value(r, "B")
+			n, _ := out.Value(r, "n")
+			if want[a.Str()+"\x00"+b.Str()] != int(n.Int()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: COUNT(DISTINCT c) matches Table.DistinctCount — Condition
+// 1's SQL check agrees with the native implementation.
+func TestSQLDistinctEquivalence(t *testing.T) {
+	f := func(rel randomRelation) bool {
+		for _, col := range []string{"A", "B", "N"} {
+			out, err := Run(Catalog{"T": rel.tbl},
+				"SELECT COUNT(DISTINCT "+col+") AS d FROM T")
+			if err != nil {
+				return false
+			}
+			v, err := out.Value(0, "d")
+			if err != nil {
+				return false
+			}
+			want, err := rel.tbl.DistinctCount(col)
+			if err != nil {
+				return false
+			}
+			if int(v.Int()) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: WHERE matches Table.Filter for equality and numeric
+// comparison predicates.
+func TestSQLWhereEquivalence(t *testing.T) {
+	f := func(rel randomRelation, pivot uint8) bool {
+		threshold := int64(pivot % 6)
+		q := fmt.Sprintf("SELECT * FROM T WHERE A = 'x' OR N >= %d", threshold)
+		out, err := Run(Catalog{"T": rel.tbl}, q)
+		if err != nil {
+			return false
+		}
+		want := rel.tbl.Filter(func(r int) bool {
+			a, _ := rel.tbl.Value(r, "A")
+			n, _ := rel.tbl.Value(r, "N")
+			return a.Str() == "x" || n.Int() >= threshold
+		})
+		return out.NumRows() == want.NumRows()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HAVING COUNT(*) < k selects exactly the undersized groups
+// (the paper's violating-group query).
+func TestSQLHavingEquivalence(t *testing.T) {
+	f := func(rel randomRelation, kk uint8) bool {
+		if rel.tbl.NumRows() == 0 {
+			return true
+		}
+		k := int(kk%4) + 1
+		q := fmt.Sprintf("SELECT A, COUNT(*) FROM T GROUP BY A HAVING COUNT(*) < %d", k)
+		out, err := Run(Catalog{"T": rel.tbl}, q)
+		if err != nil {
+			return false
+		}
+		groups, err := rel.tbl.GroupBy("A")
+		if err != nil {
+			return false
+		}
+		want := 0
+		for _, g := range groups {
+			if g.Size() < k {
+				want++
+			}
+		}
+		return out.NumRows() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ORDER BY produces a sorted permutation; LIMIT truncates.
+func TestSQLOrderLimitProperty(t *testing.T) {
+	f := func(rel randomRelation, lim uint8) bool {
+		limit := int(lim % 8)
+		q := fmt.Sprintf("SELECT N FROM T ORDER BY N DESC LIMIT %d", limit)
+		out, err := Run(Catalog{"T": rel.tbl}, q)
+		if err != nil {
+			return false
+		}
+		wantRows := rel.tbl.NumRows()
+		if limit < wantRows {
+			wantRows = limit
+		}
+		if out.NumRows() != wantRows {
+			return false
+		}
+		prev := int64(1 << 62)
+		for r := 0; r < out.NumRows(); r++ {
+			v, _ := out.Value(r, "N")
+			if v.Int() > prev {
+				return false
+			}
+			prev = v.Int()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the lexer/parser never panic on mutated query strings (a
+// lightweight fuzz over printable mutations of valid queries).
+func TestParserRobustness(t *testing.T) {
+	seeds := []string{
+		"SELECT COUNT(*) FROM T GROUP BY A, B",
+		"SELECT * FROM T WHERE A = 'x' AND N >= 3",
+		"SELECT A, COUNT(DISTINCT B) FROM T GROUP BY A HAVING COUNT(*) < 2 ORDER BY A LIMIT 5",
+	}
+	rng := rand.New(rand.NewSource(99))
+	chars := []byte("SELECTFROMWHEREGROUPBY*(),'<>=! abcxyz0123456789")
+	for _, seed := range seeds {
+		for i := 0; i < 500; i++ {
+			b := []byte(seed)
+			for m := 0; m <= rng.Intn(3); m++ {
+				pos := rng.Intn(len(b))
+				switch rng.Intn(3) {
+				case 0:
+					b[pos] = chars[rng.Intn(len(chars))]
+				case 1:
+					b = append(b[:pos], b[pos+1:]...)
+				default:
+					b = append(b[:pos], append([]byte{chars[rng.Intn(len(chars))]}, b[pos:]...)...)
+				}
+				if len(b) == 0 {
+					b = []byte("S")
+				}
+			}
+			// Must not panic; errors are fine.
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on %q: %v", string(b), r)
+					}
+				}()
+				_, _ = Parse(string(b))
+			}()
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package risk implements disclosure-risk measurement: the record
+// linkage attack of the paper's Section 2 (an intruder joining masked
+// microdata with an external identified table on the key attributes)
+// and aggregate identity/attribute disclosure risk measures.
+package risk
+
+import (
+	"fmt"
+
+	"psk/internal/hierarchy"
+	"psk/internal/lattice"
+	"psk/internal/table"
+)
+
+// Intruder models an attacker holding an external identified table
+// (e.g. a voter list: Name + key attributes at ground level) and full
+// knowledge of the generalization applied to the masked microdata —
+// the paper's "the intruder also knows that Age was generalized to
+// multiples of 10".
+type Intruder struct {
+	// External is the identified table; it must contain IDAttr and
+	// every key attribute at ground level.
+	External *table.Table
+	// IDAttr names the identifying column of the external table.
+	IDAttr string
+	// QIs are the key attributes shared by both tables.
+	QIs []string
+	// Hierarchies and Node describe the generalization the masked
+	// microdata was produced with; the intruder generalizes the
+	// external values the same way before matching.
+	Hierarchies *hierarchy.Set
+	Node        lattice.Node
+}
+
+// Linkage is the attack result for one external individual.
+type Linkage struct {
+	// ID is the individual's identifier from the external table.
+	ID string
+	// Candidates are the masked-microdata row indices whose key
+	// attribute values match the individual's generalized key values.
+	Candidates []int
+	// IdentityRisk is 1/len(Candidates), the probability of a correct
+	// re-identification by uniform guessing; 0 when no rows match.
+	IdentityRisk float64
+	// Learned maps each confidential attribute to the value the
+	// intruder learns with certainty — present only when all candidate
+	// rows agree on it (attribute disclosure without identity
+	// disclosure). Nil when nothing is learned.
+	Learned map[string]string
+}
+
+// Attack links every external individual against the masked microdata
+// and reports, for each, the candidate set, identity risk and any
+// attribute disclosures over the given confidential attributes.
+func (in *Intruder) Attack(masked *table.Table, confidential []string) ([]Linkage, error) {
+	if in.External == nil || masked == nil {
+		return nil, fmt.Errorf("risk: nil table")
+	}
+	if len(in.QIs) == 0 {
+		return nil, fmt.Errorf("risk: no key attributes to link on")
+	}
+	idCol, err := in.External.Column(in.IDAttr)
+	if err != nil {
+		return nil, fmt.Errorf("risk: external table: %w", err)
+	}
+	extCols := make([]table.Column, len(in.QIs))
+	for i, q := range in.QIs {
+		c, err := in.External.Column(q)
+		if err != nil {
+			return nil, fmt.Errorf("risk: external table: %w", err)
+		}
+		extCols[i] = c
+	}
+	mmCols := make([]table.Column, len(in.QIs))
+	for i, q := range in.QIs {
+		c, err := masked.Column(q)
+		if err != nil {
+			return nil, fmt.Errorf("risk: masked table: %w", err)
+		}
+		mmCols[i] = c
+	}
+	confCols := make([]table.Column, len(confidential))
+	for i, s := range confidential {
+		c, err := masked.Column(s)
+		if err != nil {
+			return nil, fmt.Errorf("risk: masked table: %w", err)
+		}
+		confCols[i] = c
+	}
+
+	// Index the masked microdata by its (already generalized) key
+	// values.
+	index := make(map[string][]int, masked.NumRows())
+	for r := 0; r < masked.NumRows(); r++ {
+		key := ""
+		for _, c := range mmCols {
+			key += c.Value(r).Str() + "\x00"
+		}
+		index[key] = append(index[key], r)
+	}
+
+	out := make([]Linkage, 0, in.External.NumRows())
+	for e := 0; e < in.External.NumRows(); e++ {
+		key := ""
+		for i, c := range extCols {
+			v := c.Value(e).Str()
+			if in.Hierarchies != nil && in.Node != nil {
+				h, err := in.Hierarchies.Get(in.QIs[i])
+				if err != nil {
+					return nil, fmt.Errorf("risk: %w", err)
+				}
+				v, err = h.Generalize(v, in.Node[i])
+				if err != nil {
+					return nil, fmt.Errorf("risk: generalizing external value: %w", err)
+				}
+			}
+			key += v + "\x00"
+		}
+		l := Linkage{ID: idCol.Value(e).Str(), Candidates: index[key]}
+		if len(l.Candidates) > 0 {
+			l.IdentityRisk = 1 / float64(len(l.Candidates))
+			for i, cc := range confCols {
+				first := cc.Value(l.Candidates[0]).Str()
+				constant := true
+				for _, r := range l.Candidates[1:] {
+					if cc.Value(r).Str() != first {
+						constant = false
+						break
+					}
+				}
+				if constant {
+					if l.Learned == nil {
+						l.Learned = make(map[string]string)
+					}
+					l.Learned[confidential[i]] = first
+				}
+			}
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// Summary aggregates an attack over all external individuals.
+type Summary struct {
+	// Individuals is the number of external records attacked.
+	Individuals int
+	// Linked is how many matched at least one masked row.
+	Linked int
+	// UniquelyIdentified is how many matched exactly one row (identity
+	// disclosure).
+	UniquelyIdentified int
+	// AttributeDisclosed is how many learned at least one confidential
+	// value with certainty.
+	AttributeDisclosed int
+	// MaxIdentityRisk is the highest per-individual identity risk.
+	MaxIdentityRisk float64
+	// ExpectedReidentifications sums the identity risks: the expected
+	// number of correct guesses if the intruder guesses once per
+	// individual.
+	ExpectedReidentifications float64
+}
+
+// Summarize aggregates linkage results.
+func Summarize(links []Linkage) Summary {
+	s := Summary{Individuals: len(links)}
+	for _, l := range links {
+		if len(l.Candidates) == 0 {
+			continue
+		}
+		s.Linked++
+		if len(l.Candidates) == 1 {
+			s.UniquelyIdentified++
+		}
+		if len(l.Learned) > 0 {
+			s.AttributeDisclosed++
+		}
+		if l.IdentityRisk > s.MaxIdentityRisk {
+			s.MaxIdentityRisk = l.IdentityRisk
+		}
+		s.ExpectedReidentifications += l.IdentityRisk
+	}
+	return s
+}

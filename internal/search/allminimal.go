@@ -1,0 +1,70 @@
+package search
+
+import (
+	"psk/internal/lattice"
+	"psk/internal/table"
+)
+
+// AllMinimal enumerates every p-k-minimal generalization (Definition 3)
+// using predictive tagging in the style of El Emam's Optimal Lattice
+// Anonymization: the lattice is walked bottom-up, and as soon as a node
+// satisfies the property every strict generalization of it is tagged
+// and never evaluated — by generalization monotonicity they all satisfy
+// but none can be minimal. An untagged node that evaluates to
+// satisfied therefore has only failing predecessors, which makes it
+// minimal by construction.
+//
+// Compared with Exhaustive (which evaluates all prod(h_i + 1) nodes)
+// this skips the entire up-set of every minimal node; compared with
+// BottomUp it returns the complete minimal antichain, not only the
+// minimal-height slice. Like Samarati it relies on the monotonicity
+// premise of the paper; Exhaustive remains the assumption-free
+// reference.
+func AllMinimal(im *table.Table, cfg Config) (ExhaustiveResult, error) {
+	m, err := cfg.validate()
+	if err != nil {
+		return ExhaustiveResult{}, err
+	}
+	var res ExhaustiveResult
+
+	bounds, err := searchBounds(im, cfg)
+	if err != nil {
+		return ExhaustiveResult{}, err
+	}
+	if cfg.UseConditions && cfg.P >= 2 && !bounds.Feasible() {
+		res.Stats.PrunedCondition1 = 1
+		return res, nil
+	}
+
+	lat := m.Lattice()
+	tagged := make(map[string]bool) // known satisfied via a specialization
+	for h := 0; h <= lat.Height(); h++ {
+		for _, node := range lat.NodesAtHeight(h) {
+			if tagged[node.Key()] {
+				res.Satisfying = append(res.Satisfying, node)
+				tagUp(lat, node, tagged)
+				continue
+			}
+			mm, suppressed, ok, err := satisfies(im, m, cfg, node, bounds, &res.Stats)
+			if err != nil {
+				return ExhaustiveResult{}, err
+			}
+			if ok {
+				res.Satisfying = append(res.Satisfying, node)
+				res.Minimal = append(res.Minimal, MinimalNode{Node: node, Masked: mm, Suppressed: suppressed})
+				tagUp(lat, node, tagged)
+			}
+		}
+	}
+	return res, nil
+}
+
+// tagUp marks every strict generalization of node as known-satisfied.
+func tagUp(lat *lattice.Lattice, node lattice.Node, tagged map[string]bool) {
+	for _, succ := range lat.Successors(node) {
+		if !tagged[succ.Key()] {
+			tagged[succ.Key()] = true
+			tagUp(lat, succ, tagged)
+		}
+	}
+}

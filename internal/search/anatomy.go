@@ -1,0 +1,208 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"psk/internal/table"
+)
+
+// AnatomyResult is the two-table release produced by Anatomize: the
+// quasi-identifier table keeps every QI value untouched and adds a
+// GroupID; the sensitive table maps each GroupID to its sensitive
+// values. An intruder who links an individual to a group via the exact
+// QIs still faces at least p equally plausible sensitive values.
+type AnatomyResult struct {
+	// QIT is the quasi-identifier table: the original QI columns plus
+	// GroupID, one row per input tuple.
+	QIT *table.Table
+	// ST is the sensitive table: GroupID, the sensitive attribute and a
+	// Count column, one row per (group, value) pair.
+	ST *table.Table
+	// Groups is the number of groups formed.
+	Groups int
+}
+
+// Anatomize implements the anatomy bucketization of Xiao and Tao (VLDB
+// 2006), the contemporaneous alternative to generalization that the
+// p-sensitive literature compares against: instead of coarsening the
+// quasi-identifiers, the release is split into two tables joined only
+// by a group id, and every group is built to contain at least p
+// distinct sensitive values (each at most once in the core assignment,
+// so the intruder's posterior is uniform over >= p values).
+//
+// The algorithm is the original two-phase one: group-creation pops one
+// record from each of the p currently largest value-buckets until
+// fewer than p buckets remain; residue-assignment places each leftover
+// record into a group that does not yet contain its value. It succeeds
+// exactly when no sensitive value occurs more than n/p times — the
+// anatomy analogue of the paper's second necessary condition.
+func Anatomize(t *table.Table, qis []string, sensitive string, p int) (AnatomyResult, error) {
+	if p < 2 {
+		return AnatomyResult{}, fmt.Errorf("search: anatomy p must be >= 2, got %d", p)
+	}
+	if len(qis) == 0 {
+		return AnatomyResult{}, fmt.Errorf("search: anatomy needs at least one quasi-identifier")
+	}
+	for _, q := range qis {
+		if _, err := t.Column(q); err != nil {
+			return AnatomyResult{}, err
+		}
+	}
+	col, err := t.Column(sensitive)
+	if err != nil {
+		return AnatomyResult{}, err
+	}
+	n := t.NumRows()
+	if n < p {
+		return AnatomyResult{}, fmt.Errorf("search: table has %d rows, fewer than p = %d", n, p)
+	}
+
+	// Bucketize by sensitive value.
+	buckets := make(map[string][]int)
+	for r := 0; r < n; r++ {
+		v := col.Value(r).Str()
+		buckets[v] = append(buckets[v], r)
+	}
+	if len(buckets) < p {
+		return AnatomyResult{}, fmt.Errorf("search: sensitive attribute %q has %d distinct values, fewer than p = %d (necessary condition 1)",
+			sensitive, len(buckets), p)
+	}
+	for v, rows := range buckets {
+		if len(rows)*p > n {
+			return AnatomyResult{}, fmt.Errorf("search: value %q occurs %d times, more than n/p = %d/%d (anatomy eligibility / necessary condition 2)",
+				v, len(rows), n, p)
+		}
+	}
+
+	// Group-creation phase.
+	type bucket struct {
+		value string
+		rows  []int
+	}
+	pop := func() []bucket {
+		// The p largest buckets, deterministic tie-break by value.
+		var bs []bucket
+		for v, rows := range buckets {
+			if len(rows) > 0 {
+				bs = append(bs, bucket{value: v, rows: rows})
+			}
+		}
+		sort.Slice(bs, func(a, b int) bool {
+			if len(bs[a].rows) != len(bs[b].rows) {
+				return len(bs[a].rows) > len(bs[b].rows)
+			}
+			return bs[a].value < bs[b].value
+		})
+		return bs
+	}
+
+	groupOf := make([]int, n)
+	var groupValues []map[string]bool
+	for {
+		bs := pop()
+		if len(bs) < p {
+			break
+		}
+		gid := len(groupValues)
+		values := make(map[string]bool, p)
+		for i := 0; i < p; i++ {
+			rows := buckets[bs[i].value]
+			r := rows[len(rows)-1]
+			buckets[bs[i].value] = rows[:len(rows)-1]
+			groupOf[r] = gid
+			values[bs[i].value] = true
+		}
+		groupValues = append(groupValues, values)
+	}
+	if len(groupValues) == 0 {
+		return AnatomyResult{}, fmt.Errorf("search: anatomy could not form any group (n = %d, p = %d)", n, p)
+	}
+
+	// Residue-assignment phase: each leftover row joins a group lacking
+	// its value (and marks it, so two leftovers with the same value go
+	// to different groups).
+	for v, rows := range buckets {
+		for _, r := range rows {
+			placed := false
+			for gid, values := range groupValues {
+				if !values[v] {
+					groupOf[r] = gid
+					values[v] = true
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				// Under the eligibility condition every residue value has
+				// at most one leftover record and more groups than
+				// leftovers exist; this is a defensive guard.
+				return AnatomyResult{}, fmt.Errorf("search: anatomy residue for value %q could not be placed", v)
+			}
+		}
+	}
+
+	// Build QIT: QI columns + GroupID.
+	qiOnly, err := t.Select(qis...)
+	if err != nil {
+		return AnatomyResult{}, err
+	}
+	fields := append([]table.Field{}, qiOnly.Schema().Fields...)
+	fields = append(fields, table.Field{Name: "GroupID", Type: table.Int})
+	qitSchema, err := table.NewSchema(fields...)
+	if err != nil {
+		return AnatomyResult{}, err
+	}
+	qb, err := table.NewBuilder(qitSchema)
+	if err != nil {
+		return AnatomyResult{}, err
+	}
+	for r := 0; r < n; r++ {
+		row, err := qiOnly.Row(r)
+		if err != nil {
+			return AnatomyResult{}, err
+		}
+		qb.Append(append(row, table.IV(int64(groupOf[r])))...)
+	}
+	qit, err := qb.Build()
+	if err != nil {
+		return AnatomyResult{}, err
+	}
+
+	// Build ST: GroupID, value, count.
+	counts := make(map[int]map[string]int)
+	for r := 0; r < n; r++ {
+		gid := groupOf[r]
+		if counts[gid] == nil {
+			counts[gid] = make(map[string]int)
+		}
+		counts[gid][col.Value(r).Str()]++
+	}
+	stSchema, err := table.NewSchema(
+		table.Field{Name: "GroupID", Type: table.Int},
+		table.Field{Name: sensitive, Type: table.String},
+		table.Field{Name: "Count", Type: table.Int},
+	)
+	if err != nil {
+		return AnatomyResult{}, err
+	}
+	sb, err := table.NewBuilder(stSchema)
+	if err != nil {
+		return AnatomyResult{}, err
+	}
+	for gid := 0; gid < len(groupValues); gid++ {
+		vals := make([]string, 0, len(counts[gid]))
+		for v := range counts[gid] {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		for _, v := range vals {
+			sb.Append(table.IV(int64(gid)), table.SV(v), table.IV(int64(counts[gid][v])))
+		}
+	}
+	st, err := sb.Build()
+	if err != nil {
+		return AnatomyResult{}, err
+	}
+	return AnatomyResult{QIT: qit, ST: st, Groups: len(groupValues)}, nil
+}

@@ -1,0 +1,173 @@
+package search
+
+import (
+	"strings"
+	"testing"
+
+	"psk/internal/dataset"
+	"psk/internal/table"
+)
+
+func anatomyInput(t *testing.T) *table.Table {
+	t.Helper()
+	sch := table.MustSchema(
+		table.Field{Name: "Age", Type: table.Int},
+		table.Field{Name: "Zip", Type: table.String},
+		table.Field{Name: "Illness", Type: table.String},
+	)
+	tbl, err := table.FromText(sch, [][]string{
+		{"23", "11000", "Flu"},
+		{"27", "12000", "Flu"},
+		{"35", "13000", "Diabetes"},
+		{"59", "14000", "Diabetes"},
+		{"61", "15000", "Asthma"},
+		{"65", "16000", "Asthma"},
+		{"70", "17000", "HIV"},
+		{"42", "18000", "Flu"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestAnatomizeBasic(t *testing.T) {
+	tbl := anatomyInput(t)
+	res, err := Anatomize(tbl, []string{"Age", "Zip"}, "Illness", 2)
+	if err != nil {
+		t.Fatalf("Anatomize: %v", err)
+	}
+	if res.QIT.NumRows() != tbl.NumRows() {
+		t.Errorf("QIT rows = %d, want %d", res.QIT.NumRows(), tbl.NumRows())
+	}
+	// QI values are released exactly (no generalization).
+	v, _ := res.QIT.Value(0, "Age")
+	if v.Int() != 23 {
+		t.Errorf("QIT age = %v", v)
+	}
+	// Every group must have >= 2 distinct sensitive values, checked via
+	// the sensitive table.
+	perGroup := make(map[int64]map[string]bool)
+	totalCount := 0
+	for r := 0; r < res.ST.NumRows(); r++ {
+		gid, _ := res.ST.Value(r, "GroupID")
+		val, _ := res.ST.Value(r, "Illness")
+		cnt, _ := res.ST.Value(r, "Count")
+		if perGroup[gid.Int()] == nil {
+			perGroup[gid.Int()] = make(map[string]bool)
+		}
+		perGroup[gid.Int()][val.Str()] = true
+		totalCount += int(cnt.Int())
+	}
+	if totalCount != tbl.NumRows() {
+		t.Errorf("ST counts sum to %d, want %d", totalCount, tbl.NumRows())
+	}
+	if len(perGroup) != res.Groups {
+		t.Errorf("groups = %d, ST groups = %d", res.Groups, len(perGroup))
+	}
+	for gid, values := range perGroup {
+		if len(values) < 2 {
+			t.Errorf("group %d has %d distinct sensitive values", gid, len(values))
+		}
+	}
+	// Cross-check: QIT group membership counts match ST counts.
+	gidCol, _ := res.QIT.Column("GroupID")
+	qitCounts := make(map[int64]int)
+	for r := 0; r < res.QIT.NumRows(); r++ {
+		qitCounts[gidCol.Value(r).Int()]++
+	}
+	for gid := range perGroup {
+		stCount := 0
+		for r := 0; r < res.ST.NumRows(); r++ {
+			g, _ := res.ST.Value(r, "GroupID")
+			if g.Int() == gid {
+				c, _ := res.ST.Value(r, "Count")
+				stCount += int(c.Int())
+			}
+		}
+		if stCount != qitCounts[gid] {
+			t.Errorf("group %d: QIT %d rows, ST %d", gid, qitCounts[gid], stCount)
+		}
+	}
+}
+
+func TestAnatomizeEligibility(t *testing.T) {
+	// "Flu" occurs 3 of 8 times: p = 3 violates the n/p rule (3*3 > 8).
+	tbl := anatomyInput(t)
+	if _, err := Anatomize(tbl, []string{"Age"}, "Illness", 3); err == nil ||
+		!strings.Contains(err.Error(), "eligibility") {
+		t.Errorf("err = %v, want eligibility failure", err)
+	}
+}
+
+func TestAnatomizeValidation(t *testing.T) {
+	tbl := anatomyInput(t)
+	if _, err := Anatomize(tbl, []string{"Age"}, "Illness", 1); err == nil {
+		t.Error("p=1 accepted")
+	}
+	if _, err := Anatomize(tbl, nil, "Illness", 2); err == nil {
+		t.Error("no QIs accepted")
+	}
+	if _, err := Anatomize(tbl, []string{"Missing"}, "Illness", 2); err == nil {
+		t.Error("unknown QI accepted")
+	}
+	if _, err := Anatomize(tbl, []string{"Age"}, "Missing", 2); err == nil {
+		t.Error("unknown sensitive accepted")
+	}
+	small := tbl.Head(1)
+	if _, err := Anatomize(small, []string{"Age"}, "Illness", 2); err == nil {
+		t.Error("n < p accepted")
+	}
+	// Too few distinct values.
+	sch := table.MustSchema(
+		table.Field{Name: "Q", Type: table.String},
+		table.Field{Name: "S", Type: table.String},
+	)
+	mono, err := table.FromText(sch, [][]string{{"a", "x"}, {"b", "x"}, {"c", "x"}, {"d", "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Anatomize(mono, []string{"Q"}, "S", 2); err == nil {
+		t.Error("single-valued sensitive accepted")
+	}
+}
+
+// TestAnatomizeOnAdult: anatomy on a realistic workload; every group
+// keeps >= p distinct values and the release partitions all rows.
+func TestAnatomizeOnAdult(t *testing.T) {
+	src, err := dataset.Generate(5000, 2006)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := src.Sample(1000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pay (~76% "<=50K") and TaxPeriod (~80% "12") violate the n/p
+	// eligibility rule at p = 2 — anatomy genuinely cannot protect
+	// them, a point EXPERIMENTS.md notes — so this test treats
+	// MaritalStatus (max share ~46%) as the sensitive attribute.
+	if _, err := Anatomize(im, dataset.QIs(), dataset.Pay, 2); err == nil {
+		t.Error("skewed Pay should be ineligible for anatomy at p=2")
+	}
+	res, err := Anatomize(im, []string{dataset.Age, dataset.Race, dataset.Sex}, dataset.MaritalStatus, 2)
+	if err != nil {
+		t.Fatalf("Anatomize: %v", err)
+	}
+	if res.QIT.NumRows() != 1000 {
+		t.Errorf("QIT rows = %d", res.QIT.NumRows())
+	}
+	if res.Groups < 100 {
+		t.Errorf("groups = %d; expected hundreds at p=2", res.Groups)
+	}
+	perGroup := make(map[int64]int)
+	for r := 0; r < res.ST.NumRows(); r++ {
+		gid, _ := res.ST.Value(r, "GroupID")
+		perGroup[gid.Int()]++
+	}
+	for gid, distinct := range perGroup {
+		if distinct < 2 {
+			t.Errorf("group %d has %d distinct values", gid, distinct)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package search
+
+import (
+	"psk/internal/lattice"
+	"psk/internal/table"
+)
+
+// MinimalNode is one p-k-minimal generalization found by Exhaustive,
+// with its masked microdata.
+type MinimalNode struct {
+	Node       lattice.Node
+	Masked     *table.Table
+	Suppressed int
+}
+
+// ExhaustiveResult reports every p-k-minimal generalization (Definition
+// 3): the satisfying nodes with no satisfying node strictly below them.
+type ExhaustiveResult struct {
+	// Minimal are the p-k-minimal nodes in bottom-up lattice order.
+	Minimal []MinimalNode
+	// Satisfying is every satisfying node (minimal or not).
+	Satisfying []lattice.Node
+	// Stats describes the work performed.
+	Stats Stats
+}
+
+// Exhaustive evaluates every node of the generalization lattice and
+// returns all p-k-minimal generalizations. Unlike Samarati it makes no
+// monotonicity assumption, so it is the reference implementation the
+// tests compare the faster searches against; it also powers Table 4,
+// whose lattice has only six nodes.
+func Exhaustive(im *table.Table, cfg Config) (ExhaustiveResult, error) {
+	m, err := cfg.validate()
+	if err != nil {
+		return ExhaustiveResult{}, err
+	}
+	var res ExhaustiveResult
+
+	bounds, err := searchBounds(im, cfg)
+	if err != nil {
+		return ExhaustiveResult{}, err
+	}
+	if cfg.UseConditions && cfg.P >= 2 && !bounds.Feasible() {
+		res.Stats.PrunedCondition1 = 1
+		return res, nil
+	}
+
+	type hit struct {
+		node       lattice.Node
+		masked     *table.Table
+		suppressed int
+	}
+	var hits []hit
+	for _, node := range m.Lattice().AllNodes() {
+		mm, suppressed, ok, err := satisfies(im, m, cfg, node, bounds, &res.Stats)
+		if err != nil {
+			return ExhaustiveResult{}, err
+		}
+		if ok {
+			hits = append(hits, hit{node: node, masked: mm, suppressed: suppressed})
+			res.Satisfying = append(res.Satisfying, node)
+		}
+	}
+	for _, n := range lattice.Minimal(res.Satisfying) {
+		for _, h := range hits {
+			if h.node.Equal(n) {
+				res.Minimal = append(res.Minimal, MinimalNode{
+					Node: h.node, Masked: h.masked, Suppressed: h.suppressed,
+				})
+				break
+			}
+		}
+	}
+	return res, nil
+}

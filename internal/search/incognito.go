@@ -1,0 +1,74 @@
+package search
+
+import (
+	"psk/internal/core"
+	"psk/internal/table"
+)
+
+// BottomUp performs a bottom-up breadth-first search of the
+// generalization lattice in the spirit of LeFevre et al.'s Incognito
+// (the paper's reference [12]), adapted to p-sensitive k-anonymity:
+// nodes are visited level by level from the bottom, and the search
+// stops at the first level containing a satisfying node. Every
+// satisfying node at that level is returned.
+//
+// Compared with Samarati's binary search it evaluates every node below
+// the answer but never probes above it, and it yields all
+// minimal-height solutions rather than the first one found. (Incognito's
+// signature subset-lattice pruning concerns searches over multiple QI
+// subsets; for a single fixed QI set, level-order scan is what remains.)
+func BottomUp(im *table.Table, cfg Config) (ExhaustiveResult, error) {
+	m, err := cfg.validate()
+	if err != nil {
+		return ExhaustiveResult{}, err
+	}
+	var res ExhaustiveResult
+
+	bounds, err := searchBounds(im, cfg)
+	if err != nil {
+		return ExhaustiveResult{}, err
+	}
+	if cfg.UseConditions && cfg.P >= 2 && !bounds.Feasible() {
+		res.Stats.PrunedCondition1 = 1
+		return res, nil
+	}
+
+	lat := m.Lattice()
+	for h := 0; h <= lat.Height(); h++ {
+		var levelHits []MinimalNode
+		for _, node := range lat.NodesAtHeight(h) {
+			mm, suppressed, ok, err := satisfies(im, m, cfg, node, bounds, &res.Stats)
+			if err != nil {
+				return ExhaustiveResult{}, err
+			}
+			if ok {
+				levelHits = append(levelHits, MinimalNode{Node: node, Masked: mm, Suppressed: suppressed})
+			}
+		}
+		if len(levelHits) > 0 {
+			res.Minimal = levelHits
+			for _, hit := range levelHits {
+				res.Satisfying = append(res.Satisfying, hit.Node)
+			}
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// FindAnonymous is a convenience wrapper that runs Samarati and, when
+// nothing satisfies within the suppression budget, reports the reason
+// derived from the necessary conditions.
+func FindAnonymous(im *table.Table, cfg Config) (Result, core.Reason, error) {
+	res, err := Samarati(im, cfg)
+	if err != nil {
+		return Result{}, core.Satisfied, err
+	}
+	if res.Found {
+		return res, core.Satisfied, nil
+	}
+	if res.Stats.PrunedCondition1 > 0 {
+		return res, core.FailedCondition1, nil
+	}
+	return res, core.NotPSensitive, nil
+}

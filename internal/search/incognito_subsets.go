@@ -1,0 +1,208 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"psk/internal/core"
+	"psk/internal/lattice"
+	"psk/internal/table"
+)
+
+// IncognitoResult is the outcome of the subset-pruned search.
+type IncognitoResult struct {
+	// Minimal are the p-k-minimal nodes of the full QI lattice.
+	Minimal []MinimalNode
+	// Stats describes the work performed.
+	Stats Stats
+	// PrunedBySubsets counts full-lattice candidate nodes rejected
+	// because a projection onto a smaller QI subset already failed.
+	PrunedBySubsets int
+	// SubsetsEvaluated is the number of QI subsets processed.
+	SubsetsEvaluated int
+}
+
+// Incognito implements the subset-lattice search of LeFevre, DeWitt and
+// Ramakrishnan ("Incognito", SIGMOD 2005 — the paper's reference [12]),
+// extended to p-sensitive k-anonymity. The key observation is the
+// subset property: if a masked microdata satisfies the property with
+// respect to a QI set S, it satisfies it with respect to every subset
+// of S (subset groupings are coarser, so groups only grow, and growing
+// a group can lose neither members nor distinct confidential values).
+// Contrapositively, a node of the full lattice whose projection onto
+// any smaller subset failed cannot succeed, and is pruned without
+// materializing its masking.
+//
+// Subsets are processed in increasing size; within each subset's
+// lattice, nodes are visited bottom-up and upward tagging skips the
+// up-set of every satisfying node (as in AllMinimal). The final pass
+// over the full QI set yields the complete p-k-minimal antichain.
+func Incognito(im *table.Table, cfg Config) (IncognitoResult, error) {
+	m, err := cfg.validate()
+	if err != nil {
+		return IncognitoResult{}, err
+	}
+	var res IncognitoResult
+
+	bounds, err := searchBounds(im, cfg)
+	if err != nil {
+		return IncognitoResult{}, err
+	}
+	if cfg.UseConditions && cfg.P >= 2 && !bounds.Feasible() {
+		res.Stats.PrunedCondition1 = 1
+		return res, nil
+	}
+
+	qis := cfg.QIs
+	mAttrs := len(qis)
+	if mAttrs > 16 {
+		return IncognitoResult{}, fmt.Errorf("search: incognito supports at most 16 quasi-identifiers, got %d", mAttrs)
+	}
+	fullDims := m.Lattice().Dims()
+
+	// satisfied[mask] is the set of satisfying node keys for the QI
+	// subset encoded by mask (bit i = qis[i] present). Node keys are
+	// over the subset's own coordinates, in ascending attribute order.
+	satisfied := make(map[uint32]map[string]bool)
+
+	// Enumerate masks grouped by popcount.
+	masks := make([][]uint32, mAttrs+1)
+	for mask := uint32(1); mask < 1<<mAttrs; mask++ {
+		pc := popcount(mask)
+		masks[pc] = append(masks[pc], mask)
+	}
+
+	for size := 1; size <= mAttrs; size++ {
+		for _, mask := range masks[size] {
+			attrs, dims := subsetOf(qis, fullDims, mask)
+			subLat, err := lattice.New(dims)
+			if err != nil {
+				return IncognitoResult{}, err
+			}
+			subCfg := cfg
+			subCfg.QIs = attrs
+			subMasker, err := subCfg.validate()
+			if err != nil {
+				return IncognitoResult{}, err
+			}
+
+			sat := make(map[string]bool)
+			satisfied[mask] = sat
+			tagged := make(map[string]bool)
+			var fullMinimal []MinimalNode
+
+			for h := 0; h <= subLat.Height(); h++ {
+				for _, node := range subLat.NodesAtHeight(h) {
+					key := node.Key()
+					if tagged[key] {
+						sat[key] = true
+						tagUp(subLat, node, tagged)
+						continue
+					}
+					// Subset pruning: every (size-1)-projection must have
+					// satisfied.
+					if size > 1 && !projectionsSatisfied(mask, node, satisfied) {
+						if size == mAttrs {
+							res.PrunedBySubsets++
+						}
+						continue
+					}
+					mm, suppressed, ok, err := satisfies(im, subMasker, subCfg, node, bounds, &res.Stats)
+					if err != nil {
+						return IncognitoResult{}, err
+					}
+					if ok {
+						sat[key] = true
+						if size == mAttrs {
+							fullMinimal = append(fullMinimal, MinimalNode{
+								Node: node, Masked: mm, Suppressed: suppressed,
+							})
+						}
+						tagUp(subLat, node, tagged)
+					}
+				}
+			}
+			res.SubsetsEvaluated++
+			if size == mAttrs {
+				sortMinimal(fullMinimal)
+				res.Minimal = fullMinimal
+			}
+		}
+	}
+	return res, nil
+}
+
+// subsetOf extracts the attributes and dims selected by mask, keeping
+// attribute order.
+func subsetOf(qis []string, dims []int, mask uint32) ([]string, []int) {
+	var attrs []string
+	var sub []int
+	for i := range qis {
+		if mask&(1<<uint(i)) != 0 {
+			attrs = append(attrs, qis[i])
+			sub = append(sub, dims[i])
+		}
+	}
+	return attrs, sub
+}
+
+// projectionsSatisfied checks every (|S|-1)-subset projection of node.
+func projectionsSatisfied(mask uint32, node lattice.Node, satisfied map[uint32]map[string]bool) bool {
+	// Positions of set bits, ascending: coordinate j of node belongs to
+	// attribute bits[j].
+	var bits []uint
+	for i := uint(0); i < 32; i++ {
+		if mask&(1<<i) != 0 {
+			bits = append(bits, i)
+		}
+	}
+	for drop := range bits {
+		subMask := mask &^ (1 << bits[drop])
+		proj := make(lattice.Node, 0, len(bits)-1)
+		for j := range bits {
+			if j != drop {
+				proj = append(proj, node[j])
+			}
+		}
+		if !satisfied[subMask][proj.Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// FindAnonymousIncognito mirrors FindAnonymous for the subset-pruned
+// search: run Incognito and derive the failure reason.
+func FindAnonymousIncognito(im *table.Table, cfg Config) (IncognitoResult, core.Reason, error) {
+	res, err := Incognito(im, cfg)
+	if err != nil {
+		return IncognitoResult{}, core.Satisfied, err
+	}
+	switch {
+	case len(res.Minimal) > 0:
+		return res, core.Satisfied, nil
+	case res.Stats.PrunedCondition1 > 0:
+		return res, core.FailedCondition1, nil
+	default:
+		return res, core.NotPSensitive, nil
+	}
+}
+
+// sortMinimal orders minimal nodes bottom-up for deterministic output.
+func sortMinimal(nodes []MinimalNode) {
+	sort.Slice(nodes, func(a, b int) bool {
+		ha, hb := nodes[a].Node.Height(), nodes[b].Node.Height()
+		if ha != hb {
+			return ha < hb
+		}
+		return nodes[a].Node.Key() < nodes[b].Node.Key()
+	})
+}

@@ -1,0 +1,112 @@
+package search
+
+import (
+	"psk/internal/core"
+	"psk/internal/generalize"
+	"psk/internal/lattice"
+	"psk/internal/table"
+)
+
+// Samarati implements the paper's Algorithm 3: a binary search on the
+// height of the generalization lattice for a p-k-minimal generalization,
+// with the two necessary conditions used as early rejection filters.
+//
+// Faithfulness notes:
+//
+//   - Condition 1 (p <= maxP) is checked once on the initial microdata,
+//     before any node is evaluated, exactly as Algorithm 3 does.
+//   - Condition 2 is applied per node. Algorithm 3 as printed filters on
+//     the group count of the generalized-only table; because suppression
+//     can only reduce the group count, that filter can reject a node
+//     whose final masked microdata actually satisfies the condition.
+//     This implementation therefore applies the bound to the
+//     post-suppression table (via core.CheckWithBounds), which is the
+//     exact form of Condition 2; the bound value itself is still the one
+//     computed once on the initial microdata, as licensed by Theorems 1
+//     and 2.
+//   - The binary search assumes the satisfying heights form an
+//     upward-closed set, which holds for k-anonymity with suppression
+//     and for p-sensitivity under pure generalization (the paper's
+//     premise). Use Exhaustive when that assumption must not be trusted.
+//
+// The returned node is the first satisfying node found at the minimal
+// satisfying height; Exhaustive enumerates all p-k-minimal nodes when
+// every solution is wanted.
+func Samarati(im *table.Table, cfg Config) (Result, error) {
+	m, err := cfg.validate()
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+
+	bounds, err := searchBounds(im, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.UseConditions && cfg.P >= 2 && !bounds.Feasible() {
+		// First necessary condition: no masked microdata derived from im
+		// can be p-sensitive. Checked before touching the lattice.
+		res.Stats.PrunedCondition1 = 1
+		return res, nil
+	}
+
+	lat := m.Lattice()
+	low, high := 0, lat.Height()
+	var found *Result
+	for low < high {
+		try := (low + high) / 2
+		r, err := firstAtHeight(im, m, cfg, lat, try, bounds, &res.Stats)
+		if err != nil {
+			return Result{}, err
+		}
+		if r != nil {
+			found = r
+			high = try
+		} else {
+			low = try + 1
+		}
+	}
+	// low == high: the candidate minimal height. If the last successful
+	// probe was exactly at this height we already have the answer;
+	// otherwise probe it (covers both the "never probed" and the
+	// "nothing satisfies anywhere" cases).
+	if found == nil || found.Node.Height() != low {
+		r, err := firstAtHeight(im, m, cfg, lat, low, bounds, &res.Stats)
+		if err != nil {
+			return Result{}, err
+		}
+		if r != nil {
+			found = r
+		}
+	}
+	if found == nil {
+		return res, nil
+	}
+	found.Stats = res.Stats
+	return *found, nil
+}
+
+// searchBounds computes the necessary-condition bounds on the initial
+// microdata when conditions are enabled and p >= 2; otherwise it
+// returns permissive bounds that never reject.
+func searchBounds(im *table.Table, cfg Config) (core.Bounds, error) {
+	if cfg.UseConditions && cfg.P >= 2 {
+		return core.ComputeBounds(im, cfg.Confidential, cfg.P)
+	}
+	return core.Bounds{MaxP: cfg.P, MaxGroups: im.NumRows(), P: cfg.P}, nil
+}
+
+// firstAtHeight probes every node at one height (lexicographic order)
+// and returns the first satisfying result, or nil.
+func firstAtHeight(im *table.Table, m *generalize.Masker, cfg Config, lat *lattice.Lattice, h int, bounds core.Bounds, stats *Stats) (*Result, error) {
+	for _, node := range lat.NodesAtHeight(h) {
+		mm, suppressed, ok, err := satisfies(im, m, cfg, node, bounds, stats)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return &Result{Found: true, Node: node, Masked: mm, Suppressed: suppressed}, nil
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,98 @@
+package table
+
+import "fmt"
+
+// Builder accumulates rows for a table. It is not safe for concurrent
+// use; build in one goroutine and share the resulting immutable Table.
+type Builder struct {
+	schema Schema
+	cols   []Column
+	nrows  int
+	err    error
+}
+
+// NewBuilder returns a builder for the given schema.
+func NewBuilder(schema Schema) (*Builder, error) {
+	if schema.Len() == 0 {
+		return nil, fmt.Errorf("table: %w", ErrEmptySchema)
+	}
+	cols := make([]Column, schema.Len())
+	for i, f := range schema.Fields {
+		cols[i] = NewColumn(f.Type)
+	}
+	return &Builder{schema: schema, cols: cols}, nil
+}
+
+// Append adds one row of typed values. It records the first error and
+// ignores subsequent rows after an error; Build reports it.
+func (b *Builder) Append(row ...Value) {
+	if b.err != nil {
+		return
+	}
+	if len(row) != len(b.cols) {
+		b.err = fmt.Errorf("table: %w: got %d cells, want %d", ErrArity, len(row), len(b.cols))
+		return
+	}
+	for i, v := range row {
+		if err := b.cols[i].AppendValue(v); err != nil {
+			b.err = err
+			return
+		}
+	}
+	b.nrows++
+}
+
+// AppendText adds one row of textual cells, parsing each according to
+// the column type.
+func (b *Builder) AppendText(row ...string) {
+	if b.err != nil {
+		return
+	}
+	if len(row) != len(b.cols) {
+		b.err = fmt.Errorf("table: %w: got %d cells, want %d", ErrArity, len(row), len(b.cols))
+		return
+	}
+	for i, s := range row {
+		if err := b.cols[i].AppendText(s); err != nil {
+			b.err = fmt.Errorf("row %d: %w", b.nrows, err)
+			return
+		}
+	}
+	b.nrows++
+}
+
+// Len reports the number of rows appended so far.
+func (b *Builder) Len() int { return b.nrows }
+
+// Build finalizes the table. The builder must not be used afterwards.
+func (b *Builder) Build() (*Table, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	return &Table{schema: b.schema, cols: b.cols, nrows: b.nrows}, nil
+}
+
+// FromRows builds a table from a schema and typed rows; convenient for
+// tests and examples.
+func FromRows(schema Schema, rows [][]Value) (*Table, error) {
+	b, err := NewBuilder(schema)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		b.Append(r...)
+	}
+	return b.Build()
+}
+
+// FromText builds a table from a schema and textual rows.
+func FromText(schema Schema, rows [][]string) (*Table, error) {
+	b, err := NewBuilder(schema)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		b.AppendText(r...)
+	}
+	return b.Build()
+}

@@ -1,0 +1,171 @@
+package table
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Column is one typed column of a table. Implementations are append-only
+// while a table is being built and immutable afterwards.
+type Column interface {
+	// Type reports the logical type of the column.
+	Type() Type
+	// Len reports the number of stored values.
+	Len() int
+	// Value returns the value at row i.
+	Value(i int) Value
+	// AppendValue appends a value, converting it to the column type.
+	AppendValue(v Value) error
+	// AppendText parses a textual cell and appends it.
+	AppendText(s string) error
+	// Gather returns a new column holding the values at the given rows.
+	Gather(rows []int) Column
+	// Code returns a small integer identifying the value at row i such
+	// that two rows have the same code iff they hold equal values. Codes
+	// are only comparable within one column.
+	Code(i int) int
+}
+
+// NewColumn returns an empty column of the given type.
+func NewColumn(t Type) Column {
+	switch t {
+	case Int:
+		return &intColumn{}
+	case Float:
+		return &floatColumn{}
+	default:
+		return newStringColumn()
+	}
+}
+
+// stringColumn stores categorical data dictionary-encoded: the dict holds
+// each distinct string once, codes index into it. Group-by and frequency
+// counting operate on codes, never on string bytes.
+type stringColumn struct {
+	dict  []string
+	index map[string]int32
+	codes []int32
+}
+
+func newStringColumn() *stringColumn {
+	return &stringColumn{index: make(map[string]int32)}
+}
+
+func (c *stringColumn) Type() Type { return String }
+func (c *stringColumn) Len() int   { return len(c.codes) }
+
+func (c *stringColumn) Value(i int) Value { return SV(c.dict[c.codes[i]]) }
+
+func (c *stringColumn) Code(i int) int { return int(c.codes[i]) }
+
+// Cardinality reports the number of distinct values ever appended.
+func (c *stringColumn) Cardinality() int { return len(c.dict) }
+
+func (c *stringColumn) append(s string) {
+	code, ok := c.index[s]
+	if !ok {
+		code = int32(len(c.dict))
+		c.dict = append(c.dict, s)
+		c.index[s] = code
+	}
+	c.codes = append(c.codes, code)
+}
+
+func (c *stringColumn) AppendValue(v Value) error {
+	c.append(v.Str())
+	return nil
+}
+
+func (c *stringColumn) AppendText(s string) error {
+	c.append(s)
+	return nil
+}
+
+func (c *stringColumn) Gather(rows []int) Column {
+	out := newStringColumn()
+	for _, r := range rows {
+		out.append(c.dict[c.codes[r]])
+	}
+	return out
+}
+
+type intColumn struct {
+	vals []int64
+}
+
+func (c *intColumn) Type() Type        { return Int }
+func (c *intColumn) Len() int          { return len(c.vals) }
+func (c *intColumn) Value(i int) Value { return IV(c.vals[i]) }
+
+func (c *intColumn) Code(i int) int { return int(c.vals[i]) }
+
+func (c *intColumn) AppendValue(v Value) error {
+	if v.Kind() == String {
+		return c.AppendText(v.Str())
+	}
+	c.vals = append(c.vals, v.Int())
+	return nil
+}
+
+func (c *intColumn) AppendText(s string) error {
+	n, err := strconv.ParseInt(trimSpace(s), 10, 64)
+	if err != nil {
+		return fmt.Errorf("table: cannot parse %q as int: %w", s, err)
+	}
+	c.vals = append(c.vals, n)
+	return nil
+}
+
+func (c *intColumn) Gather(rows []int) Column {
+	out := &intColumn{vals: make([]int64, 0, len(rows))}
+	for _, r := range rows {
+		out.vals = append(out.vals, c.vals[r])
+	}
+	return out
+}
+
+type floatColumn struct {
+	vals []float64
+}
+
+func (c *floatColumn) Type() Type        { return Float }
+func (c *floatColumn) Len() int          { return len(c.vals) }
+func (c *floatColumn) Value(i int) Value { return FV(c.vals[i]) }
+
+func (c *floatColumn) Code(i int) int { return int(int64(c.vals[i] * 1e6)) }
+
+func (c *floatColumn) AppendValue(v Value) error {
+	if v.Kind() == String {
+		return c.AppendText(v.Str())
+	}
+	c.vals = append(c.vals, v.Float())
+	return nil
+}
+
+func (c *floatColumn) AppendText(s string) error {
+	f, err := strconv.ParseFloat(trimSpace(s), 64)
+	if err != nil {
+		return fmt.Errorf("table: cannot parse %q as float: %w", s, err)
+	}
+	c.vals = append(c.vals, f)
+	return nil
+}
+
+func (c *floatColumn) Gather(rows []int) Column {
+	out := &floatColumn{vals: make([]float64, 0, len(rows))}
+	for _, r := range rows {
+		out.vals = append(out.vals, c.vals[r])
+	}
+	return out
+}
+
+func trimSpace(s string) string {
+	start, end := 0, len(s)
+	for start < end && (s[start] == ' ' || s[start] == '\t') {
+		start++
+	}
+	for end > start && (s[end-1] == ' ' || s[end-1] == '\t') {
+		end--
+	}
+	return s[start:end]
+}

@@ -1,0 +1,225 @@
+package table
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Group is one equivalence class of a group-by: the key values and the
+// indices of rows (into the grouped table) that share them.
+type Group struct {
+	Key  []Value
+	Rows []int
+}
+
+// Size returns the number of rows in the group.
+func (g Group) Size() int { return len(g.Rows) }
+
+// KeyString renders the group key as a comma-separated string.
+func (g Group) KeyString() string {
+	s := ""
+	for i, v := range g.Key {
+		if i > 0 {
+			s += ", "
+		}
+		s += v.Str()
+	}
+	return s
+}
+
+// GroupBy partitions the table's rows by equality on the named columns.
+// Groups are returned in order of first appearance, which makes results
+// deterministic for a given row order. This is the engine behind the
+// paper's "SELECT COUNT(*) ... GROUP BY key attributes" checks.
+func (t *Table) GroupBy(names ...string) ([]Group, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("table: group by with no columns")
+	}
+	cols := make([]Column, len(names))
+	for i, n := range names {
+		c, err := t.Column(n)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	idx := make(map[string]int, t.nrows/2+1)
+	var groups []Group
+	key := make([]byte, 0, 16*len(cols))
+	for r := 0; r < t.nrows; r++ {
+		key = key[:0]
+		for _, c := range cols {
+			key = binary.AppendVarint(key, int64(c.Code(r)))
+		}
+		g, ok := idx[string(key)]
+		if !ok {
+			g = len(groups)
+			idx[string(key)] = g
+			kv := make([]Value, len(cols))
+			for i, c := range cols {
+				kv[i] = c.Value(r)
+			}
+			groups = append(groups, Group{Key: kv})
+		}
+		groups[g].Rows = append(groups[g].Rows, r)
+	}
+	return groups, nil
+}
+
+// NumGroups counts the distinct combinations of values of the named
+// columns without materializing the groups.
+func (t *Table) NumGroups(names ...string) (int, error) {
+	if len(names) == 0 {
+		return 0, fmt.Errorf("table: group count with no columns")
+	}
+	cols := make([]Column, len(names))
+	for i, n := range names {
+		c, err := t.Column(n)
+		if err != nil {
+			return 0, err
+		}
+		cols[i] = c
+	}
+	seen := make(map[string]struct{}, t.nrows/2+1)
+	key := make([]byte, 0, 16*len(cols))
+	for r := 0; r < t.nrows; r++ {
+		key = key[:0]
+		for _, c := range cols {
+			key = binary.AppendVarint(key, int64(c.Code(r)))
+		}
+		if _, ok := seen[string(key)]; !ok {
+			seen[string(key)] = struct{}{}
+		}
+	}
+	return len(seen), nil
+}
+
+// DistinctInRows counts the distinct values of the named column over the
+// given row subset. Used by the p-sensitivity group scan.
+func (t *Table) DistinctInRows(name string, rows []int) (int, error) {
+	c, err := t.Column(name)
+	if err != nil {
+		return 0, err
+	}
+	seen := make(map[int]struct{}, len(rows))
+	for _, r := range rows {
+		seen[c.Code(r)] = struct{}{}
+	}
+	return len(seen), nil
+}
+
+// DistinctCount counts the distinct values in the named column, the
+// paper's "SELECT COUNT(DISTINCT S) FROM IM".
+func (t *Table) DistinctCount(name string) (int, error) {
+	c, err := t.Column(name)
+	if err != nil {
+		return 0, err
+	}
+	if sc, ok := c.(*stringColumn); ok {
+		// Dictionary cardinality equals distinct count only if every
+		// dictionary entry is referenced; gathered columns rebuild their
+		// dictionaries so this holds, but count codes to stay safe.
+		if sc.Len() == 0 {
+			return 0, nil
+		}
+	}
+	seen := make(map[int]struct{})
+	for i := 0; i < c.Len(); i++ {
+		seen[c.Code(i)] = struct{}{}
+	}
+	return len(seen), nil
+}
+
+// ValueCounts returns the frequency of each distinct value in the named
+// column, sorted by descending frequency (ties broken by value order so
+// results are deterministic).
+func (t *Table) ValueCounts(name string) ([]ValueCount, error) {
+	c, err := t.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	byCode := make(map[int]*ValueCount)
+	order := make([]int, 0)
+	for i := 0; i < c.Len(); i++ {
+		code := c.Code(i)
+		vc, ok := byCode[code]
+		if !ok {
+			vc = &ValueCount{Value: c.Value(i)}
+			byCode[code] = vc
+			order = append(order, code)
+		}
+		vc.Count++
+	}
+	out := make([]ValueCount, 0, len(order))
+	for _, code := range order {
+		out = append(out, *byCode[code])
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value.Compare(out[j].Value) < 0
+	})
+	return out, nil
+}
+
+// ValueCount pairs a distinct value with its number of occurrences.
+type ValueCount struct {
+	Value Value
+	Count int
+}
+
+// GroupBySorted is the sort-based alternative to GroupBy: rows are
+// ordered by their per-column codes and groups read off as runs. Same
+// contract as GroupBy except groups appear in code order rather than
+// first-appearance order. It exists for the hash-vs-sort ablation
+// (DESIGN.md §5.4); the hash-based GroupBy is the default everywhere.
+func (t *Table) GroupBySorted(names ...string) ([]Group, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("table: group by with no columns")
+	}
+	cols := make([]Column, len(names))
+	for i, n := range names {
+		c, err := t.Column(n)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	rows := make([]int, t.nrows)
+	for i := range rows {
+		rows[i] = i
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		for _, c := range cols {
+			ca, cb := c.Code(rows[a]), c.Code(rows[b])
+			if ca != cb {
+				return ca < cb
+			}
+		}
+		return rows[a] < rows[b]
+	})
+	var groups []Group
+	sameGroup := func(a, b int) bool {
+		for _, c := range cols {
+			if c.Code(a) != c.Code(b) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < len(rows); {
+		j := i
+		for j < len(rows) && sameGroup(rows[i], rows[j]) {
+			j++
+		}
+		kv := make([]Value, len(cols))
+		for k, c := range cols {
+			kv[k] = c.Value(rows[i])
+		}
+		groups = append(groups, Group{Key: kv, Rows: append([]int(nil), rows[i:j]...)})
+		i = j
+	}
+	return groups, nil
+}

@@ -1,0 +1,58 @@
+package table
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Sample draws a simple random sample of n rows without replacement,
+// using the given seed for reproducibility. The sampled rows keep their
+// original relative order so repeated runs are stable.
+func (t *Table) Sample(n int, seed int64) (*Table, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("table: negative sample size %d", n)
+	}
+	if n >= t.nrows {
+		return t.Clone(), nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(t.nrows)[:n]
+	sort.Ints(perm)
+	return t.Gather(perm)
+}
+
+// Shuffle returns a new table with rows in random order.
+func (t *Table) Shuffle(seed int64) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(t.nrows)
+	out, _ := t.Gather(perm)
+	return out
+}
+
+// SortBy returns a new table with rows ordered by the named columns
+// ascending. The sort is stable.
+func (t *Table) SortBy(names ...string) (*Table, error) {
+	cols := make([]Column, len(names))
+	for i, n := range names {
+		c, err := t.Column(n)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	rows := make([]int, t.nrows)
+	for i := range rows {
+		rows[i] = i
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for _, c := range cols {
+			cmp := c.Value(rows[a]).Compare(c.Value(rows[b]))
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return t.Gather(rows)
+}

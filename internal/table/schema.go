@@ -1,0 +1,106 @@
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Field describes one column of a schema: its name and logical type.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of fields. Field names must be unique.
+type Schema struct {
+	Fields []Field
+}
+
+// NewSchema builds a schema from fields and validates name uniqueness.
+func NewSchema(fields ...Field) (Schema, error) {
+	seen := make(map[string]struct{}, len(fields))
+	for _, f := range fields {
+		if f.Name == "" {
+			return Schema{}, fmt.Errorf("table: schema field with empty name")
+		}
+		if _, dup := seen[f.Name]; dup {
+			return Schema{}, fmt.Errorf("table: duplicate schema field %q", f.Name)
+		}
+		seen[f.Name] = struct{}{}
+	}
+	return Schema{Fields: fields}, nil
+}
+
+// MustSchema is NewSchema that panics on error; intended for literals in
+// tests and examples where the schema is a compile-time constant.
+func MustSchema(fields ...Field) Schema {
+	s, err := NewSchema(fields...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Index returns the position of the named field, or -1 if absent.
+func (s Schema) Index(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Has reports whether the schema contains the named field.
+func (s Schema) Has(name string) bool { return s.Index(name) >= 0 }
+
+// Names returns the field names in order.
+func (s Schema) Names() []string {
+	names := make([]string, len(s.Fields))
+	for i, f := range s.Fields {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// Len returns the number of fields.
+func (s Schema) Len() int { return len(s.Fields) }
+
+// Equal reports whether two schemas have identical fields in order.
+func (s Schema) Equal(o Schema) bool {
+	if len(s.Fields) != len(o.Fields) {
+		return false
+	}
+	for i := range s.Fields {
+		if s.Fields[i] != o.Fields[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns a schema containing only the named fields, in the
+// given order.
+func (s Schema) Project(names []string) (Schema, error) {
+	fields := make([]Field, 0, len(names))
+	for _, n := range names {
+		i := s.Index(n)
+		if i < 0 {
+			return Schema{}, fmt.Errorf("table: %w: %q", ErrNoColumn, n)
+		}
+		fields = append(fields, s.Fields[i])
+	}
+	return NewSchema(fields...)
+}
+
+// String renders the schema as "name:type, ...".
+func (s Schema) String() string {
+	var b strings.Builder
+	for i, f := range s.Fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%s", f.Name, f.Type)
+	}
+	return b.String()
+}

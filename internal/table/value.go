@@ -1,0 +1,162 @@
+// Package table implements a small in-memory columnar microdata engine.
+//
+// It is the relational substrate for the rest of the library: schemas,
+// typed dictionary-encoded columns, CSV input/output, projections,
+// filters, group-by with frequency sets, distinct counts and sampling.
+// Everything the paper expresses as SQL over microdata is implemented
+// here (and mirrored literally by internal/minisql).
+package table
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Type identifies the logical type of a column or value.
+type Type int
+
+// Supported column types.
+const (
+	String Type = iota // categorical / free text, dictionary encoded
+	Int                // 64-bit signed integer
+	Float              // 64-bit float
+)
+
+// String returns the lower-case name of the type.
+func (t Type) String() string {
+	switch t {
+	case String:
+		return "string"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// ParseType converts a type name ("string", "int", "float") to a Type.
+func ParseType(s string) (Type, error) {
+	switch s {
+	case "string", "str", "text":
+		return String, nil
+	case "int", "integer":
+		return Int, nil
+	case "float", "double", "real":
+		return Float, nil
+	default:
+		return String, fmt.Errorf("table: unknown type %q", s)
+	}
+}
+
+// Value is a dynamically typed cell value. The zero Value is the empty
+// string. Values are small and passed by value.
+type Value struct {
+	kind Type
+	s    string
+	i    int64
+	f    float64
+}
+
+// SV constructs a string Value.
+func SV(s string) Value { return Value{kind: String, s: s} }
+
+// IV constructs an integer Value.
+func IV(i int64) Value { return Value{kind: Int, i: i} }
+
+// FV constructs a float Value.
+func FV(f float64) Value { return Value{kind: Float, f: f} }
+
+// Kind reports the type of the value.
+func (v Value) Kind() Type { return v.kind }
+
+// Str returns the string payload. For non-string values it returns the
+// canonical textual rendering.
+func (v Value) Str() string {
+	switch v.kind {
+	case String:
+		return v.s
+	case Int:
+		return strconv.FormatInt(v.i, 10)
+	case Float:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	}
+	return v.s
+}
+
+// Int returns the integer payload. Floats are truncated; strings that
+// parse as integers are converted; otherwise 0 is returned.
+func (v Value) Int() int64 {
+	switch v.kind {
+	case Int:
+		return v.i
+	case Float:
+		return int64(v.f)
+	case String:
+		n, err := strconv.ParseInt(v.s, 10, 64)
+		if err != nil {
+			return 0
+		}
+		return n
+	}
+	return 0
+}
+
+// Float returns the float payload, converting ints and numeric strings.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case Float:
+		return v.f
+	case Int:
+		return float64(v.i)
+	case String:
+		f, err := strconv.ParseFloat(v.s, 64)
+		if err != nil {
+			return 0
+		}
+		return f
+	}
+	return 0
+}
+
+// Equal reports whether two values are equal. Values of different kinds
+// are compared numerically when both are numeric, textually otherwise.
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// Compare orders two values: -1 if v < o, 0 if equal, +1 if v > o.
+// Numeric kinds compare numerically (Int vs Float is allowed); string
+// comparisons are lexicographic. Mixed string/numeric comparisons fall
+// back to the textual rendering.
+func (v Value) Compare(o Value) int {
+	if v.kind == Int && o.kind == Int {
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		}
+		return 0
+	}
+	if (v.kind == Int || v.kind == Float) && (o.kind == Int || o.kind == Float) {
+		a, b := v.Float(), o.Float()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+	a, b := v.Str(), o.Str()
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// String implements fmt.Stringer.
+func (v Value) String() string { return v.Str() }

@@ -1,0 +1,520 @@
+package psk
+
+import (
+	"fmt"
+	"io"
+
+	"psk/internal/core"
+	"psk/internal/generalize"
+	"psk/internal/hierarchy"
+	"psk/internal/lattice"
+	"psk/internal/loss"
+	"psk/internal/mask"
+	"psk/internal/minisql"
+	"psk/internal/risk"
+	"psk/internal/search"
+	"psk/internal/table"
+)
+
+// Re-exported relational types. The aliases make every table method
+// (GroupBy, Sample, WriteCSV, ...) available to library users without a
+// second import.
+type (
+	// Table is an immutable columnar relation.
+	Table = table.Table
+	// Schema describes a table's fields.
+	Schema = table.Schema
+	// Field is one schema entry.
+	Field = table.Field
+	// Value is a dynamically typed cell.
+	Value = table.Value
+	// Builder accumulates rows for a Table.
+	Builder = table.Builder
+)
+
+// Column type constants.
+const (
+	String = table.String
+	Int    = table.Int
+	Float  = table.Float
+)
+
+// Value constructors.
+var (
+	// SV constructs a string Value.
+	SV = table.SV
+	// IV constructs an integer Value.
+	IV = table.IV
+	// FV constructs a float Value.
+	FV = table.FV
+)
+
+// NewSchema builds a validated schema.
+func NewSchema(fields ...Field) (Schema, error) { return table.NewSchema(fields...) }
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(fields ...Field) Schema { return table.MustSchema(fields...) }
+
+// NewBuilder returns a row builder for the schema.
+func NewBuilder(schema Schema) (*Builder, error) { return table.NewBuilder(schema) }
+
+// FromRows builds a table from typed rows.
+func FromRows(schema Schema, rows [][]Value) (*Table, error) { return table.FromRows(schema, rows) }
+
+// FromText builds a table from textual rows.
+func FromText(schema Schema, rows [][]string) (*Table, error) { return table.FromText(schema, rows) }
+
+// ReadCSV reads a CSV stream (header row required); a nil schema infers
+// all-string columns.
+func ReadCSV(r io.Reader, schema *Schema) (*Table, error) { return table.ReadCSV(r, schema) }
+
+// ReadCSVFile reads a CSV file; see ReadCSV.
+func ReadCSVFile(path string, schema *Schema) (*Table, error) {
+	return table.ReadCSVFile(path, schema)
+}
+
+// Hierarchy types re-exported for configuration.
+type (
+	// Hierarchy maps ground values to generalized labels per level.
+	Hierarchy = hierarchy.Hierarchy
+	// Hierarchies is a per-attribute hierarchy collection.
+	Hierarchies = hierarchy.Set
+	// IntervalLevel configures one numeric generalization level.
+	IntervalLevel = hierarchy.IntervalLevel
+	// Node is a generalization lattice node (one level per QI).
+	Node = lattice.Node
+)
+
+// Suppressed is the conventional one-group label ("*").
+const Suppressed = hierarchy.Suppressed
+
+// NewHierarchies collects per-attribute hierarchies, rejecting
+// duplicates.
+func NewHierarchies(hs ...Hierarchy) (*Hierarchies, error) { return hierarchy.NewSet(hs...) }
+
+// NewIntervalHierarchy builds a numeric hierarchy from interval levels.
+func NewIntervalHierarchy(attr string, levels []IntervalLevel) (Hierarchy, error) {
+	return hierarchy.NewInterval(attr, levels)
+}
+
+// NewTreeHierarchy builds a categorical hierarchy from per-value
+// ancestor chains.
+func NewTreeHierarchy(attr string, chains map[string][]string) (Hierarchy, error) {
+	return hierarchy.NewTree(attr, chains)
+}
+
+// ParseTreeHierarchy parses the semicolon-separated hierarchy format
+// ("value;level1;level2;...").
+func ParseTreeHierarchy(attr, text string) (Hierarchy, error) {
+	return hierarchy.ParseTree(attr, text)
+}
+
+// NewPrefixHierarchy builds a character-suppression hierarchy (one
+// character per level).
+func NewPrefixHierarchy(attr string, width, steps int) (Hierarchy, error) {
+	return hierarchy.NewPrefix(attr, width, steps)
+}
+
+// NewPrefixStepsHierarchy builds a character-suppression hierarchy with
+// a custom per-level schedule.
+func NewPrefixStepsHierarchy(attr string, width int, suppress []int) (Hierarchy, error) {
+	return hierarchy.NewPrefixSteps(attr, width, suppress)
+}
+
+// NewFlatHierarchy builds the one-step hierarchy mapping every value to
+// top (Suppressed when top is empty).
+func NewFlatHierarchy(attr, top string) Hierarchy {
+	f := hierarchy.NewFlat(attr)
+	f.Top = top
+	return f
+}
+
+// DecadeLevel builds a fixed-width interval level covering [lo, hi].
+func DecadeLevel(name string, lo, hi, width int64) IntervalLevel {
+	return hierarchy.DecadeLevel(name, lo, hi, width)
+}
+
+// Algorithm selects the lattice search strategy used by Anonymize.
+type Algorithm int
+
+// Available search algorithms.
+const (
+	// AlgorithmSamarati is the paper's Algorithm 3: binary search on
+	// lattice height. The default.
+	AlgorithmSamarati Algorithm = iota
+	// AlgorithmBottomUp scans levels from the bottom and returns the
+	// first satisfying level's nodes (Incognito-style).
+	AlgorithmBottomUp
+	// AlgorithmExhaustive evaluates the whole lattice and returns a
+	// node from the full p-k-minimal set.
+	AlgorithmExhaustive
+)
+
+// Config parameterizes Anonymize.
+type Config struct {
+	// QuasiIdentifiers are the key attributes, in lattice order.
+	QuasiIdentifiers []string
+	// Confidential are the confidential attributes (required for P >= 2).
+	Confidential []string
+	// Hierarchies supplies a generalization hierarchy per QI.
+	Hierarchies *Hierarchies
+	// K is the k-anonymity parameter (>= 2).
+	K int
+	// P is the sensitivity parameter (1 <= P <= K); P = 1 yields plain
+	// k-anonymity.
+	P int
+	// MaxSuppress is the suppression threshold TS.
+	MaxSuppress int
+	// Algorithm selects the search strategy; zero value is Samarati.
+	Algorithm Algorithm
+	// DisableConditions turns off the necessary-condition filters
+	// (Algorithm 1 behaviour); useful only for benchmarking.
+	DisableConditions bool
+}
+
+func (c Config) searchConfig() search.Config {
+	return search.Config{
+		QIs:           c.QuasiIdentifiers,
+		Confidential:  c.Confidential,
+		Hierarchies:   c.Hierarchies,
+		K:             c.K,
+		P:             c.P,
+		MaxSuppress:   c.MaxSuppress,
+		UseConditions: !c.DisableConditions,
+	}
+}
+
+// Result is the outcome of Anonymize.
+type Result struct {
+	// Found reports whether any lattice node satisfies the property
+	// within the suppression budget.
+	Found bool
+	// Node is the chosen p-k-minimal generalization.
+	Node Node
+	// Masked is the released microdata (generalized and suppressed).
+	Masked *Table
+	// Suppressed is the number of tuples removed.
+	Suppressed int
+	// AllMinimal lists every minimal node when AlgorithmExhaustive or
+	// AlgorithmBottomUp was used.
+	AllMinimal []Node
+}
+
+// Anonymize searches the generalization lattice for a p-k-minimal
+// generalization of im and returns the masked microdata (Algorithm 3 of
+// the paper, or a sibling strategy per Config.Algorithm).
+func Anonymize(im *Table, cfg Config) (*Result, error) {
+	switch cfg.Algorithm {
+	case AlgorithmSamarati:
+		r, err := search.Samarati(im, cfg.searchConfig())
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Found: r.Found, Node: r.Node, Masked: r.Masked, Suppressed: r.Suppressed}, nil
+	case AlgorithmBottomUp:
+		r, err := search.BottomUp(im, cfg.searchConfig())
+		if err != nil {
+			return nil, err
+		}
+		return exhaustiveResult(r), nil
+	case AlgorithmExhaustive:
+		r, err := search.Exhaustive(im, cfg.searchConfig())
+		if err != nil {
+			return nil, err
+		}
+		return exhaustiveResult(r), nil
+	default:
+		return nil, fmt.Errorf("psk: unknown algorithm %d", cfg.Algorithm)
+	}
+}
+
+func exhaustiveResult(r search.ExhaustiveResult) *Result {
+	out := &Result{}
+	if len(r.Minimal) == 0 {
+		return out
+	}
+	first := r.Minimal[0]
+	out.Found = true
+	out.Node = first.Node
+	out.Masked = first.Masked
+	out.Suppressed = first.Suppressed
+	for _, m := range r.Minimal {
+		out.AllMinimal = append(out.AllMinimal, m.Node)
+	}
+	return out
+}
+
+// IsKAnonymous reports whether every QI-group has at least k members
+// (Definition 1).
+func IsKAnonymous(t *Table, qis []string, k int) (bool, error) {
+	return core.IsKAnonymous(t, qis, k)
+}
+
+// IsPSensitiveKAnonymous tests p-sensitive k-anonymity (Definition 2)
+// using the paper's improved Algorithm 2: the two necessary conditions
+// first, then the detailed group scan.
+func IsPSensitiveKAnonymous(t *Table, qis, confidential []string, p, k int) (bool, error) {
+	res, err := core.Check(t, qis, confidential, p, k)
+	if err != nil {
+		return false, err
+	}
+	return res.Satisfied, nil
+}
+
+// CheckBasic tests p-sensitive k-anonymity with the paper's basic
+// Algorithm 1 (no condition filters).
+func CheckBasic(t *Table, qis, confidential []string, p, k int) (bool, error) {
+	return core.CheckBasic(t, qis, confidential, p, k)
+}
+
+// Sensitivity returns the largest p the table satisfies for its current
+// QI grouping.
+func Sensitivity(t *Table, qis, confidential []string) (int, error) {
+	return core.Sensitivity(t, qis, confidential)
+}
+
+// MaxP evaluates Condition 1's bound: the minimum distinct-value count
+// over the confidential attributes.
+func MaxP(t *Table, confidential []string) (int, error) { return core.MaxP(t, confidential) }
+
+// MaxGroups evaluates Condition 2's bound: the maximum admissible
+// number of QI-groups for sensitivity p.
+func MaxGroups(t *Table, confidential []string, p int) (int, error) {
+	return core.MaxGroups(t, confidential, p)
+}
+
+// AttributeDisclosures counts (QI-group, confidential attribute) pairs
+// with fewer than p distinct values — Table 8's measurement at p = 2.
+func AttributeDisclosures(t *Table, qis, confidential []string, p int) (int, error) {
+	return core.AttributeDisclosures(t, qis, confidential, p)
+}
+
+// Mondrian partitions the table with the greedy multidimensional
+// algorithm under k-anonymity and optional p-sensitivity constraints.
+func Mondrian(t *Table, qis, confidential []string, k, p int) (*Table, error) {
+	r, err := search.Mondrian(t, search.MondrianConfig{
+		QIs: qis, Confidential: confidential, K: k, P: p, Strict: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r.Masked, nil
+}
+
+// Query runs a SQL SELECT (the paper's checks are expressed in SQL) over
+// named tables and returns the result relation.
+func Query(tables map[string]*Table, sql string) (*Table, error) {
+	return minisql.Run(minisql.Catalog(tables), sql)
+}
+
+// Intruder re-exports the record-linkage attacker of internal/risk.
+type Intruder = risk.Intruder
+
+// Linkage is one individual's attack outcome.
+type Linkage = risk.Linkage
+
+// AttackSummary aggregates linkage results.
+type AttackSummary = risk.Summary
+
+// SummarizeAttack aggregates per-individual linkages.
+func SummarizeAttack(links []Linkage) AttackSummary { return risk.Summarize(links) }
+
+// UtilityReport bundles information-loss metrics for a masking.
+type UtilityReport = loss.Report
+
+// MeasureUtility computes the loss metrics of masked microdata mm
+// derived from im by generalizing the QIs to node under cfg's
+// hierarchies.
+func MeasureUtility(im, mm *Table, cfg Config, node Node) (UtilityReport, error) {
+	m, err := generalize.NewMasker(cfg.QuasiIdentifiers, cfg.Hierarchies)
+	if err != nil {
+		return UtilityReport{}, err
+	}
+	return loss.Measure(im, mm, cfg.QuasiIdentifiers, node, m.Lattice(), cfg.K)
+}
+
+// RiskMeasures aggregates group-size-based re-identification risk
+// (prosecutor / journalist / marketer models).
+type RiskMeasures = risk.Measures
+
+// MeasureRisk computes the re-identification risk measures of a masked
+// microdata over its quasi-identifiers.
+func MeasureRisk(mm *Table, qis []string) (RiskMeasures, error) { return risk.Measure(mm, qis) }
+
+// Violation describes one QI-group breaking p-sensitive k-anonymity.
+type Violation = core.GroupViolation
+
+// ListViolations reports every violating QI-group with the reason
+// (too small, or low diversity per confidential attribute). A nil
+// result means the table satisfies the property.
+func ListViolations(t *Table, qis, confidential []string, p, k int) ([]Violation, error) {
+	return core.Violations(t, qis, confidential, p, k)
+}
+
+// GroupProfile summarizes one QI-group (size and per-confidential
+// distinct counts).
+type GroupProfile = core.GroupProfile
+
+// ProfileGroups computes the profile of every QI-group.
+func ProfileGroups(t *Table, qis, confidential []string) ([]GroupProfile, error) {
+	return core.Profile(t, qis, confidential)
+}
+
+// ExtendedConfig configures CheckExtendedPSensitivity: a value
+// hierarchy over the confidential attribute and the highest level at
+// which p-diversity is still required.
+type ExtendedConfig = core.ExtendedConfig
+
+// CheckExtendedPSensitivity tests extended p-sensitive k-anonymity:
+// QI-groups must keep p distinct confidential labels at every hierarchy
+// level up to MaxLevel, closing the similarity attack that plain
+// p-sensitivity leaves open.
+func CheckExtendedPSensitivity(t *Table, qis []string, confidential string, p, k int, cfg ExtendedConfig) (bool, error) {
+	return core.CheckExtended(t, qis, confidential, p, k, cfg)
+}
+
+// GreedyCluster anonymizes by greedy clustering: groups of at least k
+// records with at least p distinct values per confidential attribute,
+// recoded to per-cluster ranges. Lower information loss than
+// full-domain generalization, no suppression.
+func GreedyCluster(t *Table, qis, confidential []string, k, p int) (*Table, error) {
+	res, err := search.GreedyCluster(t, search.ClusterConfig{
+		QIs: qis, Confidential: confidential, K: k, P: p,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Masked, nil
+}
+
+// AllMinimal enumerates every p-k-minimal generalization node using
+// predictive tagging (monotonicity assumed, as in Samarati's search).
+func AllMinimal(im *Table, cfg Config) ([]Node, error) {
+	res, err := search.AllMinimal(im, cfg.searchConfig())
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]Node, 0, len(res.Minimal))
+	for _, m := range res.Minimal {
+		nodes = append(nodes, m.Node)
+	}
+	return nodes, nil
+}
+
+// ClusterConstraint adds a category-level diversity requirement to
+// GreedyClusterExtended (extended p-sensitivity enforced during
+// cluster construction).
+type ClusterConstraint = search.ExtendedConstraint
+
+// GreedyClusterExtended is GreedyCluster with extended-sensitivity
+// constraints: every cluster keeps at least p distinct labels at every
+// hierarchy level (up to each constraint's MaxLevel) of the named
+// confidential attributes.
+func GreedyClusterExtended(t *Table, qis, confidential []string, k, p int, extended []ClusterConstraint) (*Table, error) {
+	res, err := search.GreedyCluster(t, search.ClusterConfig{
+		QIs: qis, Confidential: confidential, K: k, P: p, Extended: extended,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Masked, nil
+}
+
+// LocalSuppress generalizes the quasi-identifiers to node and then
+// applies local (cell-level) suppression: tuples in undersized
+// QI-groups keep their confidential values but have every QI cell
+// replaced with "*". Returns the masked table and the number of
+// locally suppressed tuples. The result is k-anonymous iff that count
+// is zero or at least k (re-check with IsKAnonymous).
+func LocalSuppress(im *Table, cfg Config, node Node) (*Table, int, error) {
+	m, err := generalize.NewMasker(cfg.QuasiIdentifiers, cfg.Hierarchies)
+	if err != nil {
+		return nil, 0, err
+	}
+	g, err := m.Apply(im, node)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m.SuppressCells(g, cfg.K)
+}
+
+// AnonymizeIncognito searches with the subset-lattice pruning of
+// LeFevre et al.'s Incognito (the paper's reference [12]), adapted to
+// p-sensitive k-anonymity, and returns every p-k-minimal node.
+func AnonymizeIncognito(im *Table, cfg Config) (*Result, error) {
+	r, err := search.Incognito(im, cfg.searchConfig())
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{}
+	if len(r.Minimal) == 0 {
+		return out, nil
+	}
+	first := r.Minimal[0]
+	out.Found = true
+	out.Node = first.Node
+	out.Masked = first.Masked
+	out.Suppressed = first.Suppressed
+	for _, m := range r.Minimal {
+		out.AllMinimal = append(out.AllMinimal, m.Node)
+	}
+	return out, nil
+}
+
+// AnatomyRelease is the two-table anatomy release: QIT (exact QI values
+// plus GroupID) and ST (GroupID, sensitive value, count).
+type AnatomyRelease = search.AnatomyResult
+
+// Anatomize produces an anatomy bucketization (Xiao & Tao): the QIs are
+// released exactly, but the sensitive attribute is only linkable to a
+// group holding at least p distinct values. Fails when any sensitive
+// value occurs more than n/p times (the eligibility condition).
+func Anatomize(t *Table, qis []string, sensitive string, p int) (AnatomyRelease, error) {
+	return search.Anatomize(t, qis, sensitive, p)
+}
+
+// Microaggregate applies MDAV microaggregation to numeric attributes:
+// groups of at least k records, each value replaced by its group mean.
+func Microaggregate(t *Table, attrs []string, k int) (*Table, error) {
+	return mask.Microaggregate(t, attrs, k)
+}
+
+// RankSwap swaps each value of a numeric attribute with a partner
+// whose rank differs by at most pct percent of n, preserving the
+// marginal distribution exactly.
+func RankSwap(t *Table, attr string, pct float64, seed int64) (*Table, error) {
+	return mask.RankSwap(t, attr, pct, seed)
+}
+
+// AddNoise perturbs a numeric attribute with zero-mean Gaussian noise
+// scaled to the attribute's standard deviation.
+func AddNoise(t *Table, attr string, scale float64, seed int64) (*Table, error) {
+	return mask.AddNoise(t, attr, scale, seed)
+}
+
+// CheckPAlpha tests (p, alpha)-sensitive k-anonymity: p distinct
+// values per (group, confidential attribute) pair and no value holding
+// more than an alpha fraction of any group.
+func CheckPAlpha(t *Table, qis, confidential []string, p, k int, alpha float64) (bool, error) {
+	return core.CheckPAlpha(t, qis, confidential, p, k, alpha)
+}
+
+// IsDistinctLDiverse reports whether every QI-group has at least l
+// distinct values of the confidential attribute (distinct l-diversity,
+// the closest relative of p-sensitivity in the follow-on literature).
+func IsDistinctLDiverse(t *Table, qis []string, confidential string, l int) (bool, error) {
+	return core.IsDistinctLDiverse(t, qis, confidential, l)
+}
+
+// IsEntropyLDiverse reports whether every QI-group's confidential value
+// distribution has entropy at least log(l).
+func IsEntropyLDiverse(t *Table, qis []string, confidential string, l int) (bool, error) {
+	return core.IsEntropyLDiverse(t, qis, confidential, l)
+}
+
+// TCloseness returns the maximum variational distance between any
+// QI-group's confidential value distribution and the whole-table
+// distribution; the table is t-close when the result is <= t.
+func TCloseness(t *Table, qis []string, confidential string) (float64, error) {
+	return core.TCloseness(t, qis, confidential)
+}

@@ -1,0 +1,26 @@
+# Tier-1 gate for the psk module. `make check` is what CI and reviewers
+# run before merging: vet, build, the full test suite under the race
+# detector (the parallel search engine must stay deterministic), and a
+# single-iteration pass over every benchmark so the evaluation harness
+# cannot silently rot.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

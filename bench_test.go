@@ -8,6 +8,7 @@ package psk
 // evaluation. EXPERIMENTS.md records paper-vs-measured values.
 
 import (
+	"fmt"
 	"testing"
 
 	"psk/internal/core"
@@ -268,6 +269,11 @@ func BenchmarkSearchStrategies(b *testing.B) {
 		UseConditions: true,
 	}
 	b.Run("Samarati", func(b *testing.B) { benchSearch(b, im, cfg) })
+	b.Run("SamaratiWorkers4", func(b *testing.B) {
+		c := cfg
+		c.Workers = 4
+		benchSearch(b, im, c)
+	})
 	b.Run("BottomUp", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			res, err := search.BottomUp(im, cfg)
@@ -515,7 +521,82 @@ func BenchmarkIncognitoVsSamarati(b *testing.B) {
 			}
 		}
 	})
+	b.Run("IncognitoWorkers4", func(b *testing.B) {
+		c := cfg
+		c.Workers = 4
+		for i := 0; i < b.N; i++ {
+			res, err := search.Incognito(im, c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Minimal) == 0 {
+				b.Fatal("found nothing")
+			}
+		}
+	})
 	b.Run("Samarati", func(b *testing.B) { benchSearch(b, im, cfg) })
+}
+
+// BenchmarkParallelSearch measures the node-evaluation engine against
+// the pre-engine baseline on the Adult workload. Baseline disables the
+// generalized-column cache and the single-pass suppression (the
+// original per-node cost); WorkersN runs the engine with an N-goroutine
+// pool. Results are identical across all variants — only the cost
+// moves. Note that on a single-CPU host the WorkersN variants cannot
+// beat Workers1; the engine's speedup there comes from the cache, and
+// the worker pool pays off once GOMAXPROCS > 1.
+func BenchmarkParallelSearch(b *testing.B) {
+	src, err := dataset.Generate(30000, 2006)
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := src.Sample(1000, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs, err := dataset.Hierarchies()
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := search.Config{
+		QIs:           dataset.QIs(),
+		Confidential:  dataset.Confidential(),
+		Hierarchies:   hs,
+		K:             3,
+		P:             2,
+		MaxSuppress:   10,
+		UseConditions: true,
+	}
+	variants := []struct {
+		name string
+		mut  func(*search.Config)
+	}{
+		{"Baseline", func(c *search.Config) { c.DisableCache = true }},
+		{"Workers1", func(c *search.Config) { c.Workers = 1 }},
+		{"Workers2", func(c *search.Config) { c.Workers = 2 }},
+		{"Workers4", func(c *search.Config) { c.Workers = 4 }},
+		{"Workers8", func(c *search.Config) { c.Workers = 8 }},
+	}
+	for _, v := range variants {
+		cfg := base
+		v.mut(&cfg)
+		b.Run(fmt.Sprintf("Samarati/%s", v.name), func(b *testing.B) { benchSearch(b, im, cfg) })
+	}
+	for _, v := range variants {
+		cfg := base
+		v.mut(&cfg)
+		b.Run(fmt.Sprintf("Exhaustive/%s", v.name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := search.Exhaustive(im, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Minimal) == 0 {
+					b.Fatal("found nothing")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAnatomize measures the bucketization release on an Adult

@@ -94,11 +94,11 @@ func CheckBasic(t *table.Table, qis, confidential []string, p, k int) (bool, err
 	}
 	for _, g := range groups {
 		for _, attr := range confidential {
-			d, err := t.DistinctInRows(attr, g.Rows)
+			ok, err := t.DistinctAtLeast(attr, g.Rows, p)
 			if err != nil {
 				return false, err
 			}
-			if d < p {
+			if !ok {
 				return false, nil
 			}
 		}
@@ -154,14 +154,15 @@ func CheckWithBounds(t *table.Table, qis, confidential []string, p, k int, bound
 	}
 
 	// Detailed p-sensitivity scan; only tables passing the two
-	// conditions reach this loop.
+	// conditions reach this loop. DistinctAtLeast stops counting a
+	// group's values as soon as the p-th distinct one appears.
 	for _, g := range groups {
 		for _, attr := range confidential {
-			d, err := t.DistinctInRows(attr, g.Rows)
+			ok, err := t.DistinctAtLeast(attr, g.Rows, p)
 			if err != nil {
 				return Result{}, err
 			}
-			if d < p {
+			if !ok {
 				res.Reason = NotPSensitive
 				return res, nil
 			}
@@ -190,6 +191,18 @@ func Sensitivity(t *table.Table, qis, confidential []string) (int, error) {
 	min := -1
 	for _, g := range groups {
 		for _, attr := range confidential {
+			if min != -1 {
+				// A group already known to reach the running minimum
+				// cannot lower it; DistinctAtLeast short-circuits at min
+				// distinct values instead of counting them all.
+				atLeast, err := t.DistinctAtLeast(attr, g.Rows, min)
+				if err != nil {
+					return 0, err
+				}
+				if atLeast {
+					continue
+				}
+			}
 			d, err := t.DistinctInRows(attr, g.Rows)
 			if err != nil {
 				return 0, err
@@ -221,11 +234,11 @@ func AttributeDisclosures(t *table.Table, qis, confidential []string, p int) (in
 	count := 0
 	for _, g := range groups {
 		for _, attr := range confidential {
-			d, err := t.DistinctInRows(attr, g.Rows)
+			ok, err := t.DistinctAtLeast(attr, g.Rows, p)
 			if err != nil {
 				return 0, err
 			}
-			if d < p {
+			if !ok {
 				count++
 			}
 		}

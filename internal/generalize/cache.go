@@ -1,0 +1,119 @@
+package generalize
+
+import (
+	"fmt"
+	"sync"
+
+	"psk/internal/lattice"
+	"psk/internal/table"
+)
+
+// Cache memoizes the generalized code array for each (QI attribute,
+// hierarchy level) pair of one source table, so a lattice search that
+// evaluates many nodes re-generalizes each column once per level instead
+// of once per node. A node's masked table is then assembled by swapping
+// cached columns into the source table (O(#QIs) pointer work) rather
+// than re-walking hierarchies per row.
+//
+// A Cache is safe for concurrent use: each column is computed exactly
+// once behind a per-entry sync.Once, and entries are immutable
+// afterwards, which is what lets the parallel search engine share one
+// Cache across its whole worker pool without further locking.
+type Cache struct {
+	src *table.Table
+	m   *Masker
+
+	mu      sync.Mutex
+	entries map[colKey]*colEntry
+}
+
+type colKey struct {
+	attr  string
+	level int
+}
+
+type colEntry struct {
+	once sync.Once
+	col  table.Column
+	err  error
+}
+
+// NewCache binds a cache to one source table. The cache serves every QI
+// subset of the masker (Incognito's sub-searches share it), because
+// entries are keyed by attribute name, not by QI position.
+func (m *Masker) NewCache(src *table.Table) *Cache {
+	return &Cache{src: src, m: m, entries: make(map[colKey]*colEntry)}
+}
+
+// Source returns the table the cache generalizes.
+func (c *Cache) Source() *table.Table { return c.src }
+
+// Column returns the source column for attr generalized to the given
+// hierarchy level, computing and memoizing it on first use.
+func (c *Cache) Column(attr string, level int) (table.Column, error) {
+	c.mu.Lock()
+	e, ok := c.entries[colKey{attr, level}]
+	if !ok {
+		e = &colEntry{}
+		c.entries[colKey{attr, level}] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		h, err := c.m.hiers.Get(attr)
+		if err != nil {
+			e.err = fmt.Errorf("generalize: %w", err)
+			return
+		}
+		e.col, e.err = c.src.MappedColumn(attr, func(v table.Value) (string, error) {
+			return h.Generalize(v.Str(), level)
+		})
+		if e.err != nil {
+			e.err = fmt.Errorf("generalize: cache %s level %d: %w", attr, level, e.err)
+		}
+	})
+	return e.col, e.err
+}
+
+// Apply recodes the masker's quasi-identifier columns to the levels of
+// the lattice node, equivalent to Masker.Apply on the cached source
+// table but served from memoized columns.
+func (c *Cache) Apply(node lattice.Node) (*table.Table, error) {
+	if !c.m.lat.Contains(node) {
+		return nil, fmt.Errorf("generalize: node %v outside lattice with dims %v", node, c.m.lat.Dims())
+	}
+	return c.ApplyQIs(c.m.qis, node)
+}
+
+// ApplyQIs recodes the given quasi-identifier subset (node[i] is the
+// level for qis[i]); Incognito's subset lattices use this with one
+// shared cache.
+func (c *Cache) ApplyQIs(qis []string, node lattice.Node) (*table.Table, error) {
+	if len(qis) != len(node) {
+		return nil, fmt.Errorf("generalize: node %v has %d levels for %d attributes", node, len(node), len(qis))
+	}
+	out := c.src
+	for i, attr := range qis {
+		if node[i] == 0 {
+			continue
+		}
+		col, err := c.Column(attr, node[i])
+		if err != nil {
+			return nil, err
+		}
+		out, err = out.WithColumn(attr, col)
+		if err != nil {
+			return nil, fmt.Errorf("generalize: apply %s level %d: %w", attr, node[i], err)
+		}
+	}
+	return out, nil
+}
+
+// Mask is the cached fast path of Masker.Mask: Apply from memoized
+// columns, then suppress residual small groups.
+func (c *Cache) Mask(node lattice.Node, k int) (*table.Table, int, error) {
+	g, err := c.Apply(node)
+	if err != nil {
+		return nil, 0, err
+	}
+	return c.m.Suppress(g, k)
+}

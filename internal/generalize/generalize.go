@@ -126,6 +126,47 @@ func (m *Masker) Suppress(t *table.Table, k int) (*table.Table, int, error) {
 	return out, t.NumRows() - len(keep), nil
 }
 
+// SuppressWithin enforces a suppression budget and suppresses in one
+// group-by pass: it counts the tuples in sub-k groups and, when the
+// count is within budget, removes them. ok is false (with a nil table)
+// when more than budget tuples would need suppression. Equivalent to
+// ViolatingTuples followed by Suppress, but grouping the table once
+// instead of twice — the per-node hot path of the lattice searches.
+func (m *Masker) SuppressWithin(t *table.Table, k, budget int) (*table.Table, int, bool, error) {
+	if k < 1 {
+		return nil, 0, false, fmt.Errorf("generalize: k must be >= 1, got %d", k)
+	}
+	groups, err := t.GroupBy(m.qis...)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	violating := 0
+	for _, g := range groups {
+		if g.Size() < k {
+			violating += g.Size()
+		}
+	}
+	if violating > budget {
+		return nil, violating, false, nil
+	}
+	if violating == 0 {
+		return t, 0, true, nil
+	}
+	keep := make([]int, 0, t.NumRows()-violating)
+	for _, g := range groups {
+		if g.Size() >= k {
+			keep = append(keep, g.Rows...)
+		}
+	}
+	// Restore original row order for determinism.
+	sort.Ints(keep)
+	out, err := t.Gather(keep)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return out, violating, true, nil
+}
+
 // Mask is Apply followed by Suppress: the full masking pipeline of the
 // paper (generalize to a node, then suppress residual small groups).
 // It returns the masked microdata and the number of suppressed tuples.

@@ -1,0 +1,46 @@
+package lattice
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestNodesAtHeightMemoized: repeated enumeration of a level must return
+// the same stable slice, and concurrent enumeration must be safe (run
+// with -race).
+func TestNodesAtHeightMemoized(t *testing.T) {
+	l, err := New([]int{2, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h <= l.Height(); h++ {
+		a := l.NodesAtHeight(h)
+		b := l.NodesAtHeight(h)
+		if len(a) != len(b) {
+			t.Fatalf("height %d: lengths differ", h)
+		}
+		if len(a) > 0 && &a[0] != &b[0] {
+			t.Errorf("height %d: enumeration not memoized", h)
+		}
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				t.Errorf("height %d node %d: %v != %v", h, i, a[i], b[i])
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total := 0
+			for h := 0; h <= l.Height(); h++ {
+				total += len(l.NodesAtHeight(h))
+			}
+			if total != l.Size() {
+				t.Errorf("enumerated %d nodes, want %d", total, l.Size())
+			}
+		}()
+	}
+	wg.Wait()
+}

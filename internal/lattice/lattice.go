@@ -12,6 +12,7 @@ package lattice
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Node is a generalization level vector. Nodes are value-like; treat
@@ -102,9 +103,16 @@ func (n Node) Label(prefixes []string) string {
 }
 
 // Lattice is the full generalization lattice for a vector of hierarchy
-// heights.
+// heights. It is safe for concurrent use.
 type Lattice struct {
 	dims []int
+
+	// byHeight memoizes NodesAtHeight results: the searches re-enumerate
+	// the same levels many times (Samarati probes heights repeatedly,
+	// the level sweeps walk every height), and the parallel engine needs
+	// a stable node order to reduce worker results deterministically.
+	mu       sync.Mutex
+	byHeight map[int][]Node
 }
 
 // New builds a lattice with the given per-attribute maximum levels. All
@@ -203,10 +211,18 @@ func (l *Lattice) Predecessors(n Node) []Node {
 }
 
 // NodesAtHeight enumerates all nodes with the given height, in
-// lexicographic order. Heights outside [0, Height()] yield nil.
+// lexicographic order. Heights outside [0, Height()] yield nil. The
+// enumeration is stable: repeated calls return the same shared slice,
+// which callers must treat as read-only (nodes are immutable by
+// convention; Clone before mutating).
 func (l *Lattice) NodesAtHeight(h int) []Node {
 	if h < 0 || h > l.Height() {
 		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if nodes, ok := l.byHeight[h]; ok {
+		return nodes
 	}
 	var out []Node
 	cur := make(Node, len(l.dims))
@@ -229,6 +245,10 @@ func (l *Lattice) NodesAtHeight(h int) []Node {
 		cur[i] = 0
 	}
 	rec(0, h)
+	if l.byHeight == nil {
+		l.byHeight = make(map[int][]Node)
+	}
+	l.byHeight[h] = out
 	return out
 }
 

@@ -36,22 +36,40 @@ func AllMinimal(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 		return res, nil
 	}
 
+	eval := newEvaluator(im, m, nil, cfg, bounds)
 	lat := m.Lattice()
 	tagged := make(map[string]bool) // known satisfied via a specialization
 	for h := 0; h <= lat.Height(); h++ {
-		for _, node := range lat.NodesAtHeight(h) {
+		// Tagging only ever marks strict generalizations — nodes at
+		// strictly greater heights — so the level's tag state is fixed
+		// before any of its nodes is evaluated. That makes the untagged
+		// frontier of each level a set of independent evaluations, which
+		// the engine can fan out across workers; results merge back in
+		// node order, identical to the serial walk.
+		nodes := lat.NodesAtHeight(h)
+		var candidates []lattice.Node
+		candIdx := make([]int, len(nodes)) // node index -> candidate index, -1 if tagged
+		for i, node := range nodes {
 			if tagged[node.Key()] {
+				candIdx[i] = -1
+				continue
+			}
+			candIdx[i] = len(candidates)
+			candidates = append(candidates, node)
+		}
+		outs, err := eval.evalAll(candidates, &res.Stats)
+		if err != nil {
+			return ExhaustiveResult{}, err
+		}
+		for i, node := range nodes {
+			if candIdx[i] < 0 {
 				res.Satisfying = append(res.Satisfying, node)
 				tagUp(lat, node, tagged)
 				continue
 			}
-			mm, suppressed, ok, err := satisfies(im, m, cfg, node, bounds, &res.Stats)
-			if err != nil {
-				return ExhaustiveResult{}, err
-			}
-			if ok {
+			if o := outs[candIdx[i]]; o.ok {
 				res.Satisfying = append(res.Satisfying, node)
-				res.Minimal = append(res.Minimal, MinimalNode{Node: node, Masked: mm, Suppressed: suppressed})
+				res.Minimal = append(res.Minimal, MinimalNode{Node: node, Masked: o.masked, Suppressed: o.suppressed})
 				tagUp(lat, node, tagged)
 			}
 		}

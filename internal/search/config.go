@@ -9,8 +9,8 @@ package search
 
 import (
 	"fmt"
+	"runtime"
 
-	"psk/internal/core"
 	"psk/internal/generalize"
 	"psk/internal/hierarchy"
 	"psk/internal/lattice"
@@ -40,6 +40,37 @@ type Config struct {
 	// baseline the paper's future-work section proposes to compare
 	// against (the E10 ablation).
 	UseConditions bool
+	// Workers bounds the worker pool that evaluates independent lattice
+	// nodes concurrently. Workers <= 1 (including the zero value)
+	// preserves the serial, deterministic evaluation order; larger
+	// values fan node evaluation out over that many goroutines while
+	// still reducing per-node outcomes in deterministic node order, so
+	// found nodes, masked tables and stats are identical at every
+	// worker count. DefaultWorkers() returns the GOMAXPROCS-sized pool.
+	Workers int
+	// DisableCache turns off the per-level generalized-column cache and
+	// the single-pass suppression, restoring the pre-engine per-node
+	// evaluation cost (re-generalize every QI column per node, group
+	// twice for the suppression budget). Results are identical either
+	// way; the flag exists for ablation benchmarks.
+	DisableCache bool
+}
+
+// DefaultWorkers returns the recommended Config.Workers value: the
+// number of CPUs the Go runtime will actually schedule on.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// workerCount clamps the configured pool to the number of nodes on
+// hand; n <= 1 or Workers <= 1 selects the serial path.
+func (c Config) workerCount(n int) int {
+	w := c.Workers
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	return w
 }
 
 // Validate checks the configuration and returns a ready Masker.
@@ -81,6 +112,17 @@ type Stats struct {
 	GroupScans int
 }
 
+// add accumulates another stats delta. The parallel engine gives every
+// node evaluation its own Stats and merges the deltas in deterministic
+// node order, which keeps totals race-free and identical to the serial
+// scan at any worker count.
+func (s *Stats) add(o Stats) {
+	s.NodesEvaluated += o.NodesEvaluated
+	s.PrunedCondition1 += o.PrunedCondition1
+	s.PrunedCondition2 += o.PrunedCondition2
+	s.GroupScans += o.GroupScans
+}
+
 // Result is the outcome of a single-solution search.
 type Result struct {
 	// Found reports whether any node satisfies the target property
@@ -97,65 +139,3 @@ type Result struct {
 	Stats Stats
 }
 
-// satisfies runs the property check at one node: generalize, suppress
-// within budget, then test p-sensitive k-anonymity on the result. The
-// bounds are reused across nodes per Theorems 1 and 2. It returns the
-// masked table when the node qualifies.
-func satisfies(im *table.Table, m *generalize.Masker, cfg Config, node lattice.Node, bounds core.Bounds, stats *Stats) (*table.Table, int, bool, error) {
-	g, err := m.Apply(im, node)
-	if err != nil {
-		return nil, 0, false, err
-	}
-
-	stats.NodesEvaluated++
-
-	// Suppression step: count violators, enforce the threshold, remove.
-	violating, err := m.ViolatingTuples(g, cfg.K)
-	if err != nil {
-		return nil, 0, false, err
-	}
-	if violating > cfg.MaxSuppress {
-		return nil, 0, false, nil
-	}
-	mm, suppressed, err := m.Suppress(g, cfg.K)
-	if err != nil {
-		return nil, 0, false, err
-	}
-	// Note: when the budget admits suppressing every tuple, the empty
-	// release vacuously satisfies the property; the paper's Table 4
-	// relies on this (TS = 10 makes the bottom node 3-minimal).
-
-	if cfg.P <= 1 {
-		// Plain k-anonymity: suppression already guarantees it.
-		stats.GroupScans++
-		return mm, suppressed, true, nil
-	}
-
-	if cfg.UseConditions {
-		res, err := core.CheckWithBounds(mm, cfg.QIs, cfg.Confidential, cfg.P, cfg.K, bounds)
-		if err != nil {
-			return nil, 0, false, err
-		}
-		switch res.Reason {
-		case core.FailedCondition2:
-			stats.PrunedCondition2++
-			return nil, 0, false, nil
-		case core.Satisfied:
-			stats.GroupScans++
-			return mm, suppressed, true, nil
-		default:
-			stats.GroupScans++
-			return nil, 0, false, nil
-		}
-	}
-
-	stats.GroupScans++
-	ok, err := core.CheckBasic(mm, cfg.QIs, cfg.Confidential, cfg.P, cfg.K)
-	if err != nil {
-		return nil, 0, false, err
-	}
-	if !ok {
-		return nil, 0, false, nil
-	}
-	return mm, suppressed, true, nil
-}

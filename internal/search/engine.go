@@ -1,0 +1,234 @@
+package search
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"psk/internal/core"
+	"psk/internal/generalize"
+	"psk/internal/lattice"
+	"psk/internal/table"
+)
+
+// evaluator is the shared node-evaluation engine behind every lattice
+// search strategy: it runs the per-node property check (generalize,
+// suppress within budget, test p-sensitive k-anonymity) either serially
+// or on a bounded worker pool, and reduces per-node outcomes in
+// deterministic node order so that found nodes, masked tables and stats
+// never depend on goroutine scheduling.
+//
+// All shared state is immutable during evaluation: the source table and
+// hierarchies are read-only, the necessary-condition bounds were hoisted
+// out of the loop once per search (Theorems 1-2 make them valid for
+// every derived masking, so workers share them without locks), and the
+// generalized-column cache synchronizes internally with per-entry
+// sync.Once. Each node evaluation accumulates its own Stats delta;
+// merging happens single-threaded at reduction time.
+type evaluator struct {
+	im     *table.Table
+	m      *generalize.Masker
+	cache  *generalize.Cache
+	qis    []string
+	cfg    Config
+	bounds core.Bounds
+}
+
+// newEvaluator builds the engine for one search. m's quasi-identifiers
+// must match cfg.QIs (Incognito passes subset maskers with a matching
+// subset config). cache may be shared across evaluators of the same
+// source table; pass nil to build a fresh one.
+func newEvaluator(im *table.Table, m *generalize.Masker, cache *generalize.Cache, cfg Config, bounds core.Bounds) *evaluator {
+	if cache == nil && !cfg.DisableCache {
+		cache = m.NewCache(im)
+	}
+	return &evaluator{im: im, m: m, cache: cache, qis: cfg.QIs, cfg: cfg, bounds: bounds}
+}
+
+// outcome is the result of evaluating one lattice node.
+type outcome struct {
+	// evaluated distinguishes real results from nodes skipped by early
+	// cancellation (only ever nodes ordered after the first hit).
+	evaluated  bool
+	ok         bool
+	masked     *table.Table
+	suppressed int
+	stats      Stats
+	err        error
+}
+
+// evalNode runs the property check at one node. The bounds are reused
+// across nodes per Theorems 1 and 2.
+func (e *evaluator) evalNode(node lattice.Node) outcome {
+	var o outcome
+	o.evaluated = true
+
+	var g *table.Table
+	var err error
+	if e.cache != nil {
+		g, err = e.cache.ApplyQIs(e.qis, node)
+	} else {
+		g, err = e.m.Apply(e.im, node)
+	}
+	if err != nil {
+		o.err = err
+		return o
+	}
+
+	o.stats.NodesEvaluated++
+
+	// Suppression step: count violators, enforce the threshold, remove.
+	var mm *table.Table
+	var suppressed int
+	if e.cache != nil {
+		var within bool
+		mm, suppressed, within, err = e.m.SuppressWithin(g, e.cfg.K, e.cfg.MaxSuppress)
+		if err != nil {
+			o.err = err
+			return o
+		}
+		if !within {
+			return o
+		}
+	} else {
+		// Pre-engine two-pass path, kept for the cache ablation.
+		violating, verr := e.m.ViolatingTuples(g, e.cfg.K)
+		if verr != nil {
+			o.err = verr
+			return o
+		}
+		if violating > e.cfg.MaxSuppress {
+			return o
+		}
+		mm, suppressed, err = e.m.Suppress(g, e.cfg.K)
+		if err != nil {
+			o.err = err
+			return o
+		}
+	}
+	// Note: when the budget admits suppressing every tuple, the empty
+	// release vacuously satisfies the property; the paper's Table 4
+	// relies on this (TS = 10 makes the bottom node 3-minimal).
+
+	if e.cfg.P <= 1 {
+		// Plain k-anonymity: suppression already guarantees it.
+		o.stats.GroupScans++
+		o.ok, o.masked, o.suppressed = true, mm, suppressed
+		return o
+	}
+
+	if e.cfg.UseConditions {
+		res, err := core.CheckWithBounds(mm, e.qis, e.cfg.Confidential, e.cfg.P, e.cfg.K, e.bounds)
+		if err != nil {
+			o.err = err
+			return o
+		}
+		switch res.Reason {
+		case core.FailedCondition2:
+			o.stats.PrunedCondition2++
+		case core.Satisfied:
+			o.stats.GroupScans++
+			o.ok, o.masked, o.suppressed = true, mm, suppressed
+		default:
+			o.stats.GroupScans++
+		}
+		return o
+	}
+
+	o.stats.GroupScans++
+	ok, err := core.CheckBasic(mm, e.qis, e.cfg.Confidential, e.cfg.P, e.cfg.K)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	if ok {
+		o.ok, o.masked, o.suppressed = true, mm, suppressed
+	}
+	return o
+}
+
+// run evaluates the nodes, serially or on the worker pool. With
+// cancelEarly, nodes ordered after an already-observed hit (or error)
+// are skipped: the reduction only ever consumes outcomes up to the
+// first hit in node order, and every node before it is guaranteed to be
+// evaluated, so cancellation can never change the reduced result — it
+// only avoids wasted work.
+func (e *evaluator) run(nodes []lattice.Node, cancelEarly bool) []outcome {
+	n := len(nodes)
+	outs := make([]outcome, n)
+	w := e.cfg.workerCount(n)
+	if w <= 1 {
+		for i, node := range nodes {
+			outs[i] = e.evalNode(node)
+			if cancelEarly && (outs[i].ok || outs[i].err != nil) {
+				break
+			}
+		}
+		return outs
+	}
+	var next int64
+	barrier := int64(n) // lowest index seen to hit or fail hard
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				if cancelEarly && int64(i) > atomic.LoadInt64(&barrier) {
+					continue
+				}
+				o := e.evalNode(nodes[i])
+				outs[i] = o
+				if cancelEarly && (o.ok || o.err != nil) {
+					for {
+						cur := atomic.LoadInt64(&barrier)
+						if int64(i) >= cur || atomic.CompareAndSwapInt64(&barrier, cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return outs
+}
+
+// firstHit returns the index and outcome of the first satisfying node
+// in node order, or index -1. Stats are merged exactly as the serial
+// scan would: deltas accumulate in node order up to and including the
+// first hit (or error); speculative work past it is discarded, so
+// totals are identical at every worker count.
+func (e *evaluator) firstHit(nodes []lattice.Node, stats *Stats) (int, outcome, error) {
+	outs := e.run(nodes, true)
+	for i := range outs {
+		o := outs[i]
+		if !o.evaluated {
+			continue
+		}
+		stats.add(o.stats)
+		if o.err != nil {
+			return -1, outcome{}, o.err
+		}
+		if o.ok {
+			return i, o, nil
+		}
+	}
+	return -1, outcome{}, nil
+}
+
+// evalAll evaluates every node and merges all stats deltas in node
+// order, returning the outcomes (or the first error in node order).
+func (e *evaluator) evalAll(nodes []lattice.Node, stats *Stats) ([]outcome, error) {
+	outs := e.run(nodes, false)
+	for i := range outs {
+		stats.add(outs[i].stats)
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+	}
+	return outs, nil
+}

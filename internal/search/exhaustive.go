@@ -28,7 +28,8 @@ type ExhaustiveResult struct {
 // returns all p-k-minimal generalizations. Unlike Samarati it makes no
 // monotonicity assumption, so it is the reference implementation the
 // tests compare the faster searches against; it also powers Table 4,
-// whose lattice has only six nodes.
+// whose lattice has only six nodes. Every node is independent, so with
+// cfg.Workers > 1 the whole lattice is evaluated concurrently.
 func Exhaustive(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 	m, err := cfg.validate()
 	if err != nil {
@@ -45,28 +46,23 @@ func Exhaustive(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 		return res, nil
 	}
 
-	type hit struct {
-		node       lattice.Node
-		masked     *table.Table
-		suppressed int
+	eval := newEvaluator(im, m, nil, cfg, bounds)
+	nodes := m.Lattice().AllNodes()
+	outs, err := eval.evalAll(nodes, &res.Stats)
+	if err != nil {
+		return ExhaustiveResult{}, err
 	}
-	var hits []hit
-	for _, node := range m.Lattice().AllNodes() {
-		mm, suppressed, ok, err := satisfies(im, m, cfg, node, bounds, &res.Stats)
-		if err != nil {
-			return ExhaustiveResult{}, err
-		}
-		if ok {
-			hits = append(hits, hit{node: node, masked: mm, suppressed: suppressed})
-			res.Satisfying = append(res.Satisfying, node)
+	var hits []MinimalNode
+	for i, o := range outs {
+		if o.ok {
+			hits = append(hits, MinimalNode{Node: nodes[i], Masked: o.masked, Suppressed: o.suppressed})
+			res.Satisfying = append(res.Satisfying, nodes[i])
 		}
 	}
 	for _, n := range lattice.Minimal(res.Satisfying) {
 		for _, h := range hits {
-			if h.node.Equal(n) {
-				res.Minimal = append(res.Minimal, MinimalNode{
-					Node: h.node, Masked: h.masked, Suppressed: h.suppressed,
-				})
+			if h.Node.Equal(n) {
+				res.Minimal = append(res.Minimal, h)
 				break
 			}
 		}

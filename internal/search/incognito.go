@@ -33,16 +33,18 @@ func BottomUp(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 		return res, nil
 	}
 
+	eval := newEvaluator(im, m, nil, cfg, bounds)
 	lat := m.Lattice()
 	for h := 0; h <= lat.Height(); h++ {
+		nodes := lat.NodesAtHeight(h)
+		outs, err := eval.evalAll(nodes, &res.Stats)
+		if err != nil {
+			return ExhaustiveResult{}, err
+		}
 		var levelHits []MinimalNode
-		for _, node := range lat.NodesAtHeight(h) {
-			mm, suppressed, ok, err := satisfies(im, m, cfg, node, bounds, &res.Stats)
-			if err != nil {
-				return ExhaustiveResult{}, err
-			}
-			if ok {
-				levelHits = append(levelHits, MinimalNode{Node: node, Masked: mm, Suppressed: suppressed})
+		for i, o := range outs {
+			if o.ok {
+				levelHits = append(levelHits, MinimalNode{Node: nodes[i], Masked: o.masked, Suppressed: o.suppressed})
 			}
 		}
 		if len(levelHits) > 0 {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"psk/internal/core"
+	"psk/internal/generalize"
 	"psk/internal/lattice"
 	"psk/internal/table"
 )
@@ -65,6 +66,16 @@ func Incognito(im *table.Table, cfg Config) (IncognitoResult, error) {
 	// over the subset's own coordinates, in ascending attribute order.
 	satisfied := make(map[uint32]map[string]bool)
 
+	// One generalized-column cache serves every subset's evaluator: it is
+	// keyed by attribute name and hierarchy level, both of which are
+	// independent of which QI subset a node ranges over, so the level-l
+	// generalization of an attribute computed for one subset is reused by
+	// every later subset that includes the attribute.
+	var sharedCache *generalize.Cache
+	if !cfg.DisableCache {
+		sharedCache = m.NewCache(im)
+	}
+
 	// Enumerate masks grouped by popcount.
 	masks := make([][]uint32, mAttrs+1)
 	for mask := uint32(1); mask < 1<<mAttrs; mask++ {
@@ -86,17 +97,27 @@ func Incognito(im *table.Table, cfg Config) (IncognitoResult, error) {
 				return IncognitoResult{}, err
 			}
 
+			subEval := newEvaluator(im, subMasker, sharedCache, subCfg, bounds)
+
 			sat := make(map[string]bool)
 			satisfied[mask] = sat
 			tagged := make(map[string]bool)
 			var fullMinimal []MinimalNode
 
 			for h := 0; h <= subLat.Height(); h++ {
-				for _, node := range subLat.NodesAtHeight(h) {
+				// Pre-filter the level serially: tagging only marks
+				// strictly higher nodes and projection checks read only
+				// smaller, already-completed subsets, so the survivors
+				// are independent and can be evaluated concurrently.
+				nodes := subLat.NodesAtHeight(h)
+				var candidates []lattice.Node
+				candIdx := make([]int, len(nodes))
+				for i, node := range nodes {
 					key := node.Key()
 					if tagged[key] {
 						sat[key] = true
 						tagUp(subLat, node, tagged)
+						candIdx[i] = -1
 						continue
 					}
 					// Subset pruning: every (size-1)-projection must have
@@ -105,17 +126,25 @@ func Incognito(im *table.Table, cfg Config) (IncognitoResult, error) {
 						if size == mAttrs {
 							res.PrunedBySubsets++
 						}
+						candIdx[i] = -1
 						continue
 					}
-					mm, suppressed, ok, err := satisfies(im, subMasker, subCfg, node, bounds, &res.Stats)
-					if err != nil {
-						return IncognitoResult{}, err
+					candIdx[i] = len(candidates)
+					candidates = append(candidates, node)
+				}
+				outs, err := subEval.evalAll(candidates, &res.Stats)
+				if err != nil {
+					return IncognitoResult{}, err
+				}
+				for i, node := range nodes {
+					if candIdx[i] < 0 {
+						continue
 					}
-					if ok {
-						sat[key] = true
+					if o := outs[candIdx[i]]; o.ok {
+						sat[node.Key()] = true
 						if size == mAttrs {
 							fullMinimal = append(fullMinimal, MinimalNode{
-								Node: node, Masked: mm, Suppressed: suppressed,
+								Node: node, Masked: o.masked, Suppressed: o.suppressed,
 							})
 						}
 						tagUp(subLat, node, tagged)

@@ -2,7 +2,6 @@ package search
 
 import (
 	"psk/internal/core"
-	"psk/internal/generalize"
 	"psk/internal/lattice"
 	"psk/internal/table"
 )
@@ -31,7 +30,9 @@ import (
 //
 // The returned node is the first satisfying node found at the minimal
 // satisfying height; Exhaustive enumerates all p-k-minimal nodes when
-// every solution is wanted.
+// every solution is wanted. With cfg.Workers > 1 the nodes of each
+// probed height are evaluated concurrently; the result is identical to
+// the serial search.
 func Samarati(im *table.Table, cfg Config) (Result, error) {
 	m, err := cfg.validate()
 	if err != nil {
@@ -50,12 +51,13 @@ func Samarati(im *table.Table, cfg Config) (Result, error) {
 		return res, nil
 	}
 
+	eval := newEvaluator(im, m, nil, cfg, bounds)
 	lat := m.Lattice()
 	low, high := 0, lat.Height()
 	var found *Result
 	for low < high {
 		try := (low + high) / 2
-		r, err := firstAtHeight(im, m, cfg, lat, try, bounds, &res.Stats)
+		r, err := eval.firstAtHeight(lat, try, &res.Stats)
 		if err != nil {
 			return Result{}, err
 		}
@@ -71,7 +73,7 @@ func Samarati(im *table.Table, cfg Config) (Result, error) {
 	// otherwise probe it (covers both the "never probed" and the
 	// "nothing satisfies anywhere" cases).
 	if found == nil || found.Node.Height() != low {
-		r, err := firstAtHeight(im, m, cfg, lat, low, bounds, &res.Stats)
+		r, err := eval.firstAtHeight(lat, low, &res.Stats)
 		if err != nil {
 			return Result{}, err
 		}
@@ -97,16 +99,17 @@ func searchBounds(im *table.Table, cfg Config) (core.Bounds, error) {
 }
 
 // firstAtHeight probes every node at one height (lexicographic order)
-// and returns the first satisfying result, or nil.
-func firstAtHeight(im *table.Table, m *generalize.Masker, cfg Config, lat *lattice.Lattice, h int, bounds core.Bounds, stats *Stats) (*Result, error) {
-	for _, node := range lat.NodesAtHeight(h) {
-		mm, suppressed, ok, err := satisfies(im, m, cfg, node, bounds, stats)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			return &Result{Found: true, Node: node, Masked: mm, Suppressed: suppressed}, nil
-		}
+// through the evaluation engine and returns the first satisfying result
+// in node order, or nil. Workers > 1 evaluates the height's nodes
+// concurrently with deterministic reduction.
+func (e *evaluator) firstAtHeight(lat *lattice.Lattice, h int, stats *Stats) (*Result, error) {
+	nodes := lat.NodesAtHeight(h)
+	i, o, err := e.firstHit(nodes, stats)
+	if err != nil {
+		return nil, err
 	}
-	return nil, nil
+	if i < 0 {
+		return nil, nil
+	}
+	return &Result{Found: true, Node: nodes[i], Masked: o.masked, Suppressed: o.suppressed}, nil
 }

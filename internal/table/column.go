@@ -3,6 +3,7 @@ package table
 import (
 	"fmt"
 	"strconv"
+	"sync"
 )
 
 // Column is one typed column of a table. Implementations are append-only
@@ -24,6 +25,15 @@ type Column interface {
 	// that two rows have the same code iff they hold equal values. Codes
 	// are only comparable within one column.
 	Code(i int) int
+}
+
+// codeRanger is an optional Column capability: columns that know an
+// inclusive [lo, hi] range containing every code report it, which lets
+// GroupBy and NumGroups pack multi-column keys into a single uint64
+// instead of a varint byte string. ok must be false when the range is
+// unknown or the column is empty.
+type codeRanger interface {
+	CodeRange() (lo, hi int, ok bool)
 }
 
 // NewColumn returns an empty column of the given type.
@@ -61,6 +71,14 @@ func (c *stringColumn) Code(i int) int { return int(c.codes[i]) }
 // Cardinality reports the number of distinct values ever appended.
 func (c *stringColumn) Cardinality() int { return len(c.dict) }
 
+// CodeRange: dictionary codes are dense in [0, len(dict)).
+func (c *stringColumn) CodeRange() (int, int, bool) {
+	if len(c.dict) == 0 {
+		return 0, 0, false
+	}
+	return 0, len(c.dict) - 1, true
+}
+
 func (c *stringColumn) append(s string) {
 	code, ok := c.index[s]
 	if !ok {
@@ -91,6 +109,12 @@ func (c *stringColumn) Gather(rows []int) Column {
 
 type intColumn struct {
 	vals []int64
+
+	// Observed value range, computed lazily on the first CodeRange call.
+	// sync.Once makes the computation safe under concurrent group-bys of
+	// a shared table; columns are immutable once the table is built.
+	rangeOnce sync.Once
+	lo, hi    int64
 }
 
 func (c *intColumn) Type() Type        { return Int }
@@ -98,6 +122,25 @@ func (c *intColumn) Len() int          { return len(c.vals) }
 func (c *intColumn) Value(i int) Value { return IV(c.vals[i]) }
 
 func (c *intColumn) Code(i int) int { return int(c.vals[i]) }
+
+// CodeRange reports the observed [min, max] value range.
+func (c *intColumn) CodeRange() (int, int, bool) {
+	if len(c.vals) == 0 {
+		return 0, 0, false
+	}
+	c.rangeOnce.Do(func() {
+		c.lo, c.hi = c.vals[0], c.vals[0]
+		for _, v := range c.vals[1:] {
+			if v < c.lo {
+				c.lo = v
+			}
+			if v > c.hi {
+				c.hi = v
+			}
+		}
+	})
+	return int(c.lo), int(c.hi), true
+}
 
 func (c *intColumn) AppendValue(v Value) error {
 	if v.Kind() == String {

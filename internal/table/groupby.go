@@ -3,7 +3,9 @@ package table
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
+	"strings"
 )
 
 // Group is one equivalence class of a group-by: the key values and the
@@ -18,20 +20,72 @@ func (g Group) Size() int { return len(g.Rows) }
 
 // KeyString renders the group key as a comma-separated string.
 func (g Group) KeyString() string {
-	s := ""
+	var b strings.Builder
 	for i, v := range g.Key {
 		if i > 0 {
-			s += ", "
+			b.WriteString(", ")
 		}
-		s += v.Str()
+		b.WriteString(v.Str())
 	}
-	return s
+	return b.String()
+}
+
+// packPlan describes how to pack one row's multi-column codes into a
+// single uint64 key: key = sum_i (code_i - off_i) * stride_i. A plan
+// exists only when every key column reports a code range and the ranges'
+// product fits in a uint64 (mixed-radix positional encoding, so distinct
+// code tuples map to distinct keys).
+type packPlan struct {
+	offs    []int
+	strides []uint64
+}
+
+// packedPlan builds the uint64 packing plan for the key columns, or
+// reports ok=false when some column's codes are unbounded or the
+// combined cardinality overflows.
+func packedPlan(cols []Column) (packPlan, bool) {
+	offs := make([]int, len(cols))
+	strides := make([]uint64, len(cols))
+	stride := uint64(1)
+	for i, c := range cols {
+		cr, ok := c.(codeRanger)
+		if !ok {
+			return packPlan{}, false
+		}
+		lo, hi, ok := cr.CodeRange()
+		if !ok || hi < lo {
+			return packPlan{}, false
+		}
+		span := uint64(hi-lo) + 1
+		if span > math.MaxUint64/stride {
+			return packPlan{}, false
+		}
+		offs[i] = lo
+		strides[i] = stride
+		stride *= span
+	}
+	return packPlan{offs: offs, strides: strides}, true
+}
+
+// key packs row r's codes per the plan.
+func (p packPlan) key(cols []Column, r int) uint64 {
+	k := uint64(0)
+	for i, c := range cols {
+		k += uint64(c.Code(r)-p.offs[i]) * p.strides[i]
+	}
+	return k
 }
 
 // GroupBy partitions the table's rows by equality on the named columns.
 // Groups are returned in order of first appearance, which makes results
 // deterministic for a given row order. This is the engine behind the
 // paper's "SELECT COUNT(*) ... GROUP BY key attributes" checks.
+//
+// When every key column's code cardinality is known and their product
+// fits in a machine word, rows are hashed through a packed uint64 key
+// and an int-keyed map; otherwise the varint byte-string key is used.
+// Both paths produce identical groups in identical order
+// (BenchmarkGroupByStrategies covers them).
 func (t *Table) GroupBy(names ...string) ([]Group, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("table: group by with no columns")
@@ -44,8 +98,29 @@ func (t *Table) GroupBy(names ...string) ([]Group, error) {
 		}
 		cols[i] = c
 	}
-	idx := make(map[string]int, t.nrows/2+1)
 	var groups []Group
+	newGroup := func(r int) Group {
+		kv := make([]Value, len(cols))
+		for i, c := range cols {
+			kv[i] = c.Value(r)
+		}
+		return Group{Key: kv}
+	}
+	if plan, ok := packedPlan(cols); ok {
+		idx := make(map[uint64]int, t.nrows/2+1)
+		for r := 0; r < t.nrows; r++ {
+			k := plan.key(cols, r)
+			g, ok := idx[k]
+			if !ok {
+				g = len(groups)
+				idx[k] = g
+				groups = append(groups, newGroup(r))
+			}
+			groups[g].Rows = append(groups[g].Rows, r)
+		}
+		return groups, nil
+	}
+	idx := make(map[string]int, t.nrows/2+1)
 	key := make([]byte, 0, 16*len(cols))
 	for r := 0; r < t.nrows; r++ {
 		key = key[:0]
@@ -56,11 +131,7 @@ func (t *Table) GroupBy(names ...string) ([]Group, error) {
 		if !ok {
 			g = len(groups)
 			idx[string(key)] = g
-			kv := make([]Value, len(cols))
-			for i, c := range cols {
-				kv[i] = c.Value(r)
-			}
-			groups = append(groups, Group{Key: kv})
+			groups = append(groups, newGroup(r))
 		}
 		groups[g].Rows = append(groups[g].Rows, r)
 	}
@@ -68,7 +139,8 @@ func (t *Table) GroupBy(names ...string) ([]Group, error) {
 }
 
 // NumGroups counts the distinct combinations of values of the named
-// columns without materializing the groups.
+// columns without materializing the groups. It uses the same packed
+// uint64 fast path as GroupBy when the key columns admit it.
 func (t *Table) NumGroups(names ...string) (int, error) {
 	if len(names) == 0 {
 		return 0, fmt.Errorf("table: group count with no columns")
@@ -80,6 +152,13 @@ func (t *Table) NumGroups(names ...string) (int, error) {
 			return 0, err
 		}
 		cols[i] = c
+	}
+	if plan, ok := packedPlan(cols); ok {
+		seen := make(map[uint64]struct{}, t.nrows/2+1)
+		for r := 0; r < t.nrows; r++ {
+			seen[plan.key(cols, r)] = struct{}{}
+		}
+		return len(seen), nil
 	}
 	seen := make(map[string]struct{}, t.nrows/2+1)
 	key := make([]byte, 0, 16*len(cols))
@@ -107,6 +186,32 @@ func (t *Table) DistinctInRows(name string, rows []int) (int, error) {
 		seen[c.Code(r)] = struct{}{}
 	}
 	return len(seen), nil
+}
+
+// DistinctAtLeast reports whether the named column takes at least p
+// distinct values over the given row subset, stopping as soon as the
+// p-th distinct code is seen. The p-sensitivity scans only ever need
+// the ">= p?" verdict, not the exact count, so this saves the tail of
+// every scan over a qualifying group.
+func (t *Table) DistinctAtLeast(name string, rows []int, p int) (bool, error) {
+	c, err := t.Column(name)
+	if err != nil {
+		return false, err
+	}
+	if p <= 0 {
+		return true, nil
+	}
+	if p == 1 {
+		return len(rows) > 0, nil
+	}
+	seen := make(map[int]struct{}, p)
+	for _, r := range rows {
+		seen[c.Code(r)] = struct{}{}
+		if len(seen) >= p {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 // DistinctCount counts the distinct values in the named column, the

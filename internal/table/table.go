@@ -133,8 +133,11 @@ func (t *Table) Clone() *Table {
 }
 
 // MapColumn returns a new table in which the named column has been
-// replaced by applying fn to every value. The result column is always a
-// string column (generalization produces categorical labels).
+// replaced by applying fn to every value, row by row. The result column
+// is always a string column (generalization produces categorical
+// labels). fn may depend on call order (several callers close over a row
+// counter); use MappedColumn when fn is a pure function of the value and
+// per-distinct-value memoization is wanted.
 func (t *Table) MapColumn(name string, fn func(Value) (string, error)) (*Table, error) {
 	idx := t.schema.Index(name)
 	if idx < 0 {
@@ -149,12 +152,61 @@ func (t *Table) MapColumn(name string, fn func(Value) (string, error)) (*Table, 
 		}
 		dst.append(s)
 	}
+	return t.WithColumn(name, dst)
+}
+
+// MappedColumn builds the string column that MapColumn would install,
+// without constructing the table, and with fn applied once per distinct
+// value (by code) rather than once per row. The cost is O(distinct)
+// applications of fn plus O(rows) code lookups — the fast path the
+// generalization cache relies on. fn must be a pure function of the
+// value.
+func (t *Table) MappedColumn(name string, fn func(Value) (string, error)) (Column, error) {
+	idx := t.schema.Index(name)
+	if idx < 0 {
+		return nil, fmt.Errorf("table: %w: %q", ErrNoColumn, name)
+	}
+	src := t.cols[idx]
+	dst := newStringColumn()
+	memo := make(map[int]string)
+	for i := 0; i < t.nrows; i++ {
+		code := src.Code(i)
+		s, ok := memo[code]
+		if !ok {
+			var err error
+			s, err = fn(src.Value(i))
+			if err != nil {
+				return nil, fmt.Errorf("table: map column %q row %d: %w", name, i, err)
+			}
+			memo[code] = s
+		}
+		dst.append(s)
+	}
+	return dst, nil
+}
+
+// WithColumn returns a new table in which the named column has been
+// replaced by col; every other column is shared, not copied. The column
+// must have exactly one value per row. This is the cheap assembly step
+// the per-level generalized-column cache uses to build a node's masked
+// table from memoized columns.
+func (t *Table) WithColumn(name string, col Column) (*Table, error) {
+	idx := t.schema.Index(name)
+	if idx < 0 {
+		return nil, fmt.Errorf("table: %w: %q", ErrNoColumn, name)
+	}
+	if col == nil {
+		return nil, fmt.Errorf("table: nil replacement for column %q", name)
+	}
+	if col.Len() != t.nrows {
+		return nil, fmt.Errorf("table: replacement for column %q has %d rows, want %d", name, col.Len(), t.nrows)
+	}
 	cols := make([]Column, len(t.cols))
 	copy(cols, t.cols)
-	cols[idx] = dst
+	cols[idx] = col
 	fields := make([]Field, len(t.schema.Fields))
 	copy(fields, t.schema.Fields)
-	fields[idx].Type = String
+	fields[idx].Type = col.Type()
 	return &Table{schema: Schema{Fields: fields}, cols: cols, nrows: t.nrows}, nil
 }
 

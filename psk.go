@@ -170,7 +170,16 @@ type Config struct {
 	// DisableConditions turns off the necessary-condition filters
 	// (Algorithm 1 behaviour); useful only for benchmarking.
 	DisableConditions bool
+	// Workers bounds the worker pool evaluating independent lattice
+	// nodes concurrently; <= 1 (including the zero value) keeps the
+	// serial path. Results are identical at every worker count.
+	// DefaultWorkers() returns the GOMAXPROCS-sized pool.
+	Workers int
 }
+
+// DefaultWorkers returns the recommended Config.Workers value for
+// parallel lattice search: one worker per schedulable CPU.
+func DefaultWorkers() int { return search.DefaultWorkers() }
 
 func (c Config) searchConfig() search.Config {
 	return search.Config{
@@ -181,6 +190,7 @@ func (c Config) searchConfig() search.Config {
 		P:             c.P,
 		MaxSuppress:   c.MaxSuppress,
 		UseConditions: !c.DisableConditions,
+		Workers:       c.Workers,
 	}
 }
 

@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-json
 
 check: vet build race bench
 
@@ -24,3 +24,10 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench-json snapshots the roll-up benchmark (ns/op and allocs/op per
+# variant) into BENCH_rollup.json, the committed record of the roll-up
+# layer's win over the row-scanning engine.
+bench-json:
+	$(GO) test -run '^$$' -bench '^BenchmarkRollup$$' -benchmem -benchtime 10x . \
+		| $(GO) run ./cmd/benchjson > BENCH_rollup.json

@@ -1,0 +1,18 @@
+// Command benchjson converts `go test -bench -benchmem` output on
+// stdin into a JSON object mapping each benchmark to its ns/op and
+// allocs/op, for committing benchmark snapshots (see `make bench-json`).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"psk/internal/cli"
+)
+
+func main() {
+	if err := cli.BenchJSON(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

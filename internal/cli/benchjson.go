@@ -1,0 +1,67 @@
+package cli
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// BenchMetrics is the per-benchmark summary `make bench-json` records:
+// wall time and allocation count per iteration, the two numbers the
+// roll-up optimisation is judged by.
+type BenchMetrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// gomaxprocsSuffix is the "-8" style suffix `go test` appends to
+// benchmark names; stripped so the JSON keys are stable across
+// machines.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// BenchJSON converts `go test -bench -benchmem` output read from in
+// into a JSON object mapping benchmark name to its metrics, written to
+// out. Lines that are not benchmark results (headers, PASS, ok) are
+// ignored; a benchmark run twice keeps the last result.
+func BenchJSON(in io.Reader, out io.Writer) error {
+	results := make(map[string]BenchMetrics)
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		var m BenchMetrics
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return fmt.Errorf("benchjson: %s: bad value %q", name, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+				ok = true
+			case "allocs/op":
+				m.AllocsPerOp = v
+			}
+		}
+		if ok {
+			results[name] = m
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchjson: no benchmark results on input")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -402,5 +403,43 @@ func TestAttackErrors(t *testing.T) {
 	os.WriteFile(extPath, []byte(externalCSV), 0o644)
 	if err := Attack([]string{"-masked", mmPath, "-external", extPath, "-qi", "Nope"}, &out, &errw); err == nil {
 		t.Error("unknown QI accepted")
+	}
+}
+
+// TestBenchJSON pins the bench-output-to-JSON conversion `make
+// bench-json` relies on.
+func TestBenchJSON(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: psk
+BenchmarkRollup/Exhaustive/Rollup-8         	      10	   7065294 ns/op	  123456 B/op	    1234 allocs/op
+BenchmarkRollup/Exhaustive/DisableRollup    	      10	  13623264 ns/op	  654321 B/op	    4321 allocs/op
+PASS
+ok  	psk	1.773s
+`
+	var out strings.Builder
+	if err := BenchJSON(strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]struct {
+		Ns     float64 `json:"ns_per_op"`
+		Allocs float64 `json:"allocs_per_op"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &got); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := got["BenchmarkRollup/Exhaustive/Rollup"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", out.String())
+	}
+	if r.Ns != 7065294 || r.Allocs != 1234 {
+		t.Errorf("Rollup metrics = %+v", r)
+	}
+	d := got["BenchmarkRollup/Exhaustive/DisableRollup"]
+	if d.Ns != 13623264 || d.Allocs != 4321 {
+		t.Errorf("DisableRollup metrics = %+v", d)
+	}
+	if err := BenchJSON(strings.NewReader("PASS\n"), &out); err == nil {
+		t.Error("empty bench output accepted")
 	}
 }

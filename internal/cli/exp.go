@@ -4,6 +4,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"psk/internal/dataset"
@@ -21,13 +24,41 @@ func Exp(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("pskexp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp   = fs.String("exp", "all", "experiment to run (all, "+strings.Join(ExpNames, ", ")+")")
-		adult = fs.String("adult", "", "path to a real UCI adult.data file (default: synthetic Adult)")
-		seed  = fs.Int64("seed", 17, "sample seed for the Adult experiments")
-		ts    = fs.Int("ts", 0, "suppression threshold for Table 8")
+		exp        = fs.String("exp", "all", "experiment to run (all, "+strings.Join(ExpNames, ", ")+")")
+		adult      = fs.String("adult", "", "path to a real UCI adult.data file (default: synthetic Adult)")
+		seed       = fs.Int64("seed", 17, "sample seed for the Adult experiments")
+		ts         = fs.Int("ts", 0, "suppression threshold for Table 8")
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	var source *table.Table

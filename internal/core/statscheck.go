@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"psk/internal/table"
+)
+
+// This file re-states every verdict of the package on table.GroupStats
+// instead of the table itself. The checks are row-free: a group's size
+// and its per-confidential-attribute code histograms are all any of
+// the definitions actually consume, so a search engine that maintains
+// group statistics across lattice nodes (rolling them up instead of
+// re-scanning rows) gets identical verdicts in O(#groups) time. Each
+// function mirrors its table-based counterpart gate for gate; the
+// equivalence is pinned by TestStatsChecksMatchTableChecks.
+//
+// Confidential attributes are addressed by index into the stats'
+// histogram vector — position i corresponds to the i-th name in the
+// confidential list the stats were built with.
+
+// IsKAnonymousStats is IsKAnonymous on group statistics.
+func IsKAnonymousStats(s *table.GroupStats, k int) (bool, error) {
+	if k < 1 {
+		return false, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	if s.NumRows == 0 {
+		return true, nil
+	}
+	for i := range s.Groups {
+		if s.Groups[i].Size < k {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// TuplesViolatingKStats is TuplesViolatingK on group statistics.
+func TuplesViolatingKStats(s *table.GroupStats, k int) (int, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	return s.TuplesBelow(k), nil
+}
+
+// CheckBasicStats is Algorithm 1 (CheckBasic) on group statistics. The
+// histogram length is the group's distinct-value count, so the
+// DistinctAtLeast early exit of the table path becomes a plain length
+// comparison here.
+func CheckBasicStats(s *table.GroupStats, p, k int) (bool, error) {
+	if err := validatePK(p, k); err != nil {
+		return false, err
+	}
+	if s.NumConf == 0 {
+		return false, fmt.Errorf("core: no confidential attributes")
+	}
+	for i := range s.Groups {
+		if s.Groups[i].Size < k {
+			return false, nil
+		}
+	}
+	for i := range s.Groups {
+		for _, h := range s.Groups[i].Hists {
+			if h.Distinct() < p {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// CheckStatsWithBounds is Algorithm 2 (CheckWithBounds) on group
+// statistics: the two necessary conditions as rejection filters, then
+// k-anonymity, then the detailed p-sensitivity scan. Gate order and
+// Result fields match the table path exactly.
+func CheckStatsWithBounds(s *table.GroupStats, p, k int, bounds Bounds) (Result, error) {
+	if err := validatePK(p, k); err != nil {
+		return Result{}, err
+	}
+	res := Result{MaxP: bounds.MaxP, MaxGroups: bounds.MaxGroups}
+
+	// First necessary condition.
+	if p > bounds.MaxP {
+		res.Reason = FailedCondition1
+		return res, nil
+	}
+
+	// Second necessary condition.
+	res.Groups = s.NumGroups()
+	if p >= 2 && res.Groups > bounds.MaxGroups {
+		res.Reason = FailedCondition2
+		return res, nil
+	}
+
+	// k-anonymity.
+	for i := range s.Groups {
+		if s.Groups[i].Size < k {
+			res.Reason = NotKAnonymous
+			return res, nil
+		}
+	}
+
+	// Detailed p-sensitivity scan.
+	for i := range s.Groups {
+		for _, h := range s.Groups[i].Hists {
+			if h.Distinct() < p {
+				res.Reason = NotPSensitive
+				return res, nil
+			}
+		}
+	}
+	res.Satisfied = true
+	res.Reason = Satisfied
+	return res, nil
+}
+
+// SensitivityStats is Sensitivity on group statistics: the minimum
+// distinct-value count over (group, confidential attribute) pairs.
+func SensitivityStats(s *table.GroupStats) (int, error) {
+	if s.NumConf == 0 {
+		return 0, fmt.Errorf("core: no confidential attributes")
+	}
+	if s.NumRows == 0 {
+		return 0, nil
+	}
+	min := -1
+	for i := range s.Groups {
+		for _, h := range s.Groups[i].Hists {
+			if d := h.Distinct(); min == -1 || d < min {
+				min = d
+			}
+		}
+	}
+	return min, nil
+}
+
+// AttributeDisclosuresStats is AttributeDisclosures on group
+// statistics.
+func AttributeDisclosuresStats(s *table.GroupStats, p int) (int, error) {
+	if p < 1 {
+		return 0, fmt.Errorf("core: p must be >= 1, got %d", p)
+	}
+	if s.NumConf == 0 {
+		return 0, fmt.Errorf("core: no confidential attributes")
+	}
+	count := 0
+	for i := range s.Groups {
+		for _, h := range s.Groups[i].Hists {
+			if h.Distinct() < p {
+				count++
+			}
+		}
+	}
+	return count, nil
+}
+
+func validateConfIdx(s *table.GroupStats, confIdx int) error {
+	if confIdx < 0 || confIdx >= s.NumConf {
+		return fmt.Errorf("core: confidential index %d out of range (stats cover %d)", confIdx, s.NumConf)
+	}
+	return nil
+}
+
+// DistinctLDiverseStats is IsDistinctLDiverse on group statistics for
+// the confIdx-th confidential attribute.
+func DistinctLDiverseStats(s *table.GroupStats, confIdx, l int) (bool, error) {
+	if l < 1 {
+		return false, fmt.Errorf("core: l must be >= 1, got %d", l)
+	}
+	if err := validateConfIdx(s, confIdx); err != nil {
+		return false, err
+	}
+	for i := range s.Groups {
+		if s.Groups[i].Hists[confIdx].Distinct() < l {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// EntropyLDiverseStats is IsEntropyLDiverse on group statistics: the
+// group's entropy is computed straight from its histogram, with the
+// same boundary tolerance as the table path.
+func EntropyLDiverseStats(s *table.GroupStats, confIdx, l int) (bool, error) {
+	if l < 1 {
+		return false, fmt.Errorf("core: l must be >= 1, got %d", l)
+	}
+	if err := validateConfIdx(s, confIdx); err != nil {
+		return false, err
+	}
+	threshold := math.Log(float64(l))
+	for i := range s.Groups {
+		entropy := 0.0
+		n := float64(s.Groups[i].Size)
+		for _, e := range s.Groups[i].Hists[confIdx] {
+			pr := float64(e.Count) / n
+			entropy -= pr * math.Log(pr)
+		}
+		if entropy+1e-12 < threshold {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// TClosenessStats is TCloseness on group statistics: the global
+// distribution is the merge of all group histograms, so no table access
+// is needed.
+func TClosenessStats(s *table.GroupStats, confIdx int) (float64, error) {
+	if err := validateConfIdx(s, confIdx); err != nil {
+		return 0, err
+	}
+	if s.NumRows == 0 {
+		return 0, nil
+	}
+	global := make(map[int]float64)
+	for i := range s.Groups {
+		for _, e := range s.Groups[i].Hists[confIdx] {
+			global[e.Code] += float64(e.Count)
+		}
+	}
+	n := float64(s.NumRows)
+	for code := range global {
+		global[code] /= n
+	}
+	worst := 0.0
+	for i := range s.Groups {
+		local := make(map[int]float64, len(s.Groups[i].Hists[confIdx]))
+		for _, e := range s.Groups[i].Hists[confIdx] {
+			local[e.Code] = float64(e.Count)
+		}
+		gn := float64(s.Groups[i].Size)
+		dist := 0.0
+		for code, p := range global {
+			q := local[code] / gn
+			dist += math.Abs(p - q)
+		}
+		dist /= 2
+		if dist > worst {
+			worst = dist
+		}
+	}
+	return worst, nil
+}
+
+// CheckPAlphaStats is CheckPAlpha on group statistics: the most common
+// confidential value's count is the histogram's MaxCount.
+func CheckPAlphaStats(s *table.GroupStats, p, k int, alpha float64) (bool, error) {
+	if err := validatePK(p, k); err != nil {
+		return false, err
+	}
+	if alpha <= 0 || alpha > 1 {
+		return false, fmt.Errorf("core: alpha must be in (0, 1], got %g", alpha)
+	}
+	if s.NumConf == 0 {
+		return false, fmt.Errorf("core: no confidential attributes")
+	}
+	for i := range s.Groups {
+		if s.Groups[i].Size < k {
+			return false, nil
+		}
+	}
+	for i := range s.Groups {
+		for _, h := range s.Groups[i].Hists {
+			if h.Distinct() < p {
+				return false, nil
+			}
+			if float64(h.MaxCount()) > alpha*float64(s.Groups[i].Size) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// CheckExtendedStats is CheckExtended on group statistics. The value
+// hierarchy over the confidential attribute is supplied as one code
+// map per level: levelMaps[lvl] translates ground confidential codes
+// to their level-lvl category codes (nil meaning identity, as at level
+// 0). Distinct categories at a level are counted by mapping the
+// group's histogram codes through the level's map — rows are never
+// touched. levelMaps must cover levels 0 through MaxLevel inclusive.
+func CheckExtendedStats(s *table.GroupStats, confIdx, p, k, maxLevel int, levelMaps []*table.CodeMap) (bool, error) {
+	if err := validatePK(p, k); err != nil {
+		return false, err
+	}
+	if err := validateConfIdx(s, confIdx); err != nil {
+		return false, err
+	}
+	if maxLevel < 0 {
+		return false, fmt.Errorf("core: extended stats check requires maxLevel >= 0, got %d", maxLevel)
+	}
+	if len(levelMaps) <= maxLevel {
+		return false, fmt.Errorf("core: extended stats check has %d level maps for maxLevel %d", len(levelMaps), maxLevel)
+	}
+	for i := range s.Groups {
+		if s.Groups[i].Size < k {
+			return false, nil
+		}
+	}
+	seen := make(map[int]struct{}, p)
+	for i := range s.Groups {
+		h := s.Groups[i].Hists[confIdx]
+		for lvl := 0; lvl <= maxLevel; lvl++ {
+			clear(seen)
+			for _, e := range h {
+				code, ok := levelMaps[lvl].Map(e.Code)
+				if !ok {
+					return false, fmt.Errorf("core: extended stats check: code %d has no level-%d translation", e.Code, lvl)
+				}
+				seen[code] = struct{}{}
+				// DistinctAtLeast-style early exit: the level is satisfied
+				// as soon as the p-th category appears.
+				if len(seen) >= p {
+					break
+				}
+			}
+			if len(seen) < p {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

@@ -25,6 +25,7 @@ type Cache struct {
 
 	mu      sync.Mutex
 	entries map[colKey]*colEntry
+	maps    map[mapKey]*mapEntry
 }
 
 type colKey struct {
@@ -38,11 +39,22 @@ type colEntry struct {
 	err  error
 }
 
+type mapKey struct {
+	attr     string
+	from, to int
+}
+
+type mapEntry struct {
+	once sync.Once
+	cm   *table.CodeMap
+	err  error
+}
+
 // NewCache binds a cache to one source table. The cache serves every QI
 // subset of the masker (Incognito's sub-searches share it), because
 // entries are keyed by attribute name, not by QI position.
 func (m *Masker) NewCache(src *table.Table) *Cache {
-	return &Cache{src: src, m: m, entries: make(map[colKey]*colEntry)}
+	return &Cache{src: src, m: m, entries: make(map[colKey]*colEntry), maps: make(map[mapKey]*mapEntry)}
 }
 
 // Source returns the table the cache generalizes.
@@ -72,6 +84,59 @@ func (c *Cache) Column(attr string, level int) (table.Column, error) {
 		}
 	})
 	return e.col, e.err
+}
+
+// levelColumn returns attr generalized to level, where level 0 is the
+// source column itself (ApplyQIs leaves level-0 attributes untouched,
+// so code maps must translate relative to the raw column there).
+func (c *Cache) levelColumn(attr string, level int) (table.Column, error) {
+	if level == 0 {
+		col, err := c.src.Column(attr)
+		if err != nil {
+			return nil, fmt.Errorf("generalize: %w", err)
+		}
+		return col, nil
+	}
+	return c.Column(attr, level)
+}
+
+// LevelMap returns the code translation for attr from one hierarchy
+// level to another, computing and memoizing it on first use. A nil map
+// (with nil error) means the levels are equal and the translation is
+// the identity. Full-domain recoding guarantees the translation exists
+// whenever `to` generalizes `from`; requesting a non-nested pair
+// surfaces as a non-functional-relation error from BuildCodeMap.
+//
+// The roll-up layer uses these maps to move QI-group keys between
+// lattice nodes without rescanning rows.
+func (c *Cache) LevelMap(attr string, from, to int) (*table.CodeMap, error) {
+	if from == to {
+		return nil, nil
+	}
+	c.mu.Lock()
+	e, ok := c.maps[mapKey{attr, from, to}]
+	if !ok {
+		e = &mapEntry{}
+		c.maps[mapKey{attr, from, to}] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		fromCol, err := c.levelColumn(attr, from)
+		if err != nil {
+			e.err = err
+			return
+		}
+		toCol, err := c.levelColumn(attr, to)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.cm, e.err = table.BuildCodeMap(fromCol, toCol)
+		if e.err != nil {
+			e.err = fmt.Errorf("generalize: level map %s %d->%d: %w", attr, from, to, e.err)
+		}
+	})
+	return e.cm, e.err
 }
 
 // Apply recodes the masker's quasi-identifier columns to the levels of

@@ -136,3 +136,83 @@ func TestSuppressWithin(t *testing.T) {
 		t.Error("k=0 accepted")
 	}
 }
+
+// TestLevelMap: for every attribute and ordered level pair, the cached
+// code map must translate each row's code at the finer level to its
+// code at the coarser level; equal levels are the nil identity map, and
+// specializing (coarse -> fine) pairs are rejected as non-functional.
+func TestLevelMap(t *testing.T) {
+	tbl := figure3Table(t)
+	m := figure3Masker(t)
+	c := m.NewCache(tbl)
+	dims := m.Lattice().Dims()
+	for qi, attr := range m.QuasiIdentifiers() {
+		maxLevel := dims[qi] - 1
+		for from := 0; from <= maxLevel; from++ {
+			for to := from; to <= maxLevel; to++ {
+				cm, err := c.LevelMap(attr, from, to)
+				if err != nil {
+					t.Fatalf("LevelMap(%s, %d, %d): %v", attr, from, to, err)
+				}
+				if from == to {
+					if cm != nil {
+						t.Errorf("LevelMap(%s, %d, %d) not identity", attr, from, to)
+					}
+					continue
+				}
+				fromCol, err := c.levelColumn(attr, from)
+				if err != nil {
+					t.Fatal(err)
+				}
+				toCol, err := c.levelColumn(attr, to)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for r := 0; r < tbl.NumRows(); r++ {
+					got, ok := cm.Map(fromCol.Code(r))
+					if !ok || got != toCol.Code(r) {
+						t.Errorf("%s %d->%d row %d: Map(%d) = %d,%v want %d",
+							attr, from, to, r, fromCol.Code(r), got, ok, toCol.Code(r))
+					}
+				}
+			}
+		}
+	}
+	// Specializing direction: "Person" covers both M and F, so the
+	// relation is not a function.
+	if _, err := c.LevelMap("Sex", 1, 0); err == nil {
+		t.Error("specializing level map accepted")
+	}
+	// Unknown attribute.
+	if _, err := c.LevelMap("Age", 0, 1); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+// TestLevelMapConcurrent hammers LevelMap from many goroutines; run
+// with -race. Every goroutine must observe the identical memoized map.
+func TestLevelMapConcurrent(t *testing.T) {
+	tbl := figure3Table(t)
+	m := figure3Masker(t)
+	c := m.NewCache(tbl)
+	var wg sync.WaitGroup
+	maps := make([]*table.CodeMap, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cm, err := c.LevelMap("ZipCode", 0, 2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			maps[i] = cm
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < 8; i++ {
+		if maps[i] != maps[0] {
+			t.Fatalf("goroutine %d saw a different cached map", i)
+		}
+	}
+}

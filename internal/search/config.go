@@ -52,8 +52,13 @@ type Config struct {
 	// the single-pass suppression, restoring the pre-engine per-node
 	// evaluation cost (re-generalize every QI column per node, group
 	// twice for the suppression budget). Results are identical either
-	// way; the flag exists for ablation benchmarks.
+	// way; the flag exists for ablation benchmarks. It also disables
+	// the roll-up store, which is built on the cache's level maps.
 	DisableCache bool
+	// DisableRollup turns off the group-statistics roll-up store and
+	// restores PR 1's per-node row scan. Results are identical either
+	// way; the flag exists for the BenchmarkRollup ablation.
+	DisableRollup bool
 }
 
 // DefaultWorkers returns the recommended Config.Workers value: the

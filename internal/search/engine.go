@@ -1,6 +1,7 @@
 package search
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -31,6 +32,16 @@ type evaluator struct {
 	qis    []string
 	cfg    Config
 	bounds core.Bounds
+	// rollups, when non-nil, holds each evaluated node's pre-suppression
+	// group statistics so ancestor nodes are checked by merging groups
+	// (rollup.go) instead of re-scanning rows. It is per-search state:
+	// Incognito's subset searches each get their own store (their nodes
+	// index different QI subsets) while sharing one column cache.
+	rollups *rollupStore
+	// noMaterialize tells the stats path the caller never reads
+	// outcome.masked (Incognito's non-final subsets only consume the
+	// verdict), so satisfying nodes skip building the masked table.
+	noMaterialize bool
 }
 
 // newEvaluator builds the engine for one search. m's quasi-identifiers
@@ -41,7 +52,11 @@ func newEvaluator(im *table.Table, m *generalize.Masker, cache *generalize.Cache
 	if cache == nil && !cfg.DisableCache {
 		cache = m.NewCache(im)
 	}
-	return &evaluator{im: im, m: m, cache: cache, qis: cfg.QIs, cfg: cfg, bounds: bounds}
+	e := &evaluator{im: im, m: m, cache: cache, qis: cfg.QIs, cfg: cfg, bounds: bounds}
+	if cache != nil && !cfg.DisableRollup {
+		e.rollups = newRollupStore()
+	}
+	return e
 }
 
 // outcome is the result of evaluating one lattice node.
@@ -57,8 +72,13 @@ type outcome struct {
 }
 
 // evalNode runs the property check at one node. The bounds are reused
-// across nodes per Theorems 1 and 2.
+// across nodes per Theorems 1 and 2. With a roll-up store the verdict
+// comes from group statistics (evalNodeStats); the row-scanning path
+// below remains for the cache and roll-up ablations.
 func (e *evaluator) evalNode(node lattice.Node) outcome {
+	if e.rollups != nil {
+		return e.evalNodeStats(node)
+	}
 	var o outcome
 	o.evaluated = true
 
@@ -144,6 +164,100 @@ func (e *evaluator) evalNode(node lattice.Node) outcome {
 		o.ok, o.masked, o.suppressed = true, mm, suppressed
 	}
 	return o
+}
+
+// evalNodeStats is evalNode on group statistics: the node's
+// pre-suppression stats come from the roll-up store (rows are scanned
+// at most once per search, at the lattice bottom), suppression is
+// replayed on the statistics, and the verdict functions of core run on
+// histograms. The masked table is only materialized for satisfying
+// nodes, through the identical ApplyQIs + SuppressWithin pipeline the
+// direct path uses, so results — tables, suppression counts and Stats
+// deltas — are byte-identical to the direct path, branch for branch.
+func (e *evaluator) evalNodeStats(node lattice.Node) outcome {
+	var o outcome
+	o.evaluated = true
+
+	s, err := e.statsFor(node)
+	if err != nil {
+		o.err = err
+		return o
+	}
+
+	o.stats.NodesEvaluated++
+
+	// Suppression step on the statistics: SuppressWithin's verdict is
+	// "violating tuples <= budget", and its removal drops exactly the
+	// sub-k groups.
+	violating := s.TuplesBelow(e.cfg.K)
+	if violating > e.cfg.MaxSuppress {
+		return o
+	}
+	post := s.SuppressBelow(e.cfg.K)
+	accept := func() {
+		if e.noMaterialize {
+			o.ok, o.suppressed = true, violating
+			return
+		}
+		e.materialize(node, &o)
+	}
+
+	if e.cfg.P <= 1 {
+		o.stats.GroupScans++
+		accept()
+		return o
+	}
+
+	if e.cfg.UseConditions {
+		res, err := core.CheckStatsWithBounds(post, e.cfg.P, e.cfg.K, e.bounds)
+		if err != nil {
+			o.err = err
+			return o
+		}
+		switch res.Reason {
+		case core.FailedCondition2:
+			o.stats.PrunedCondition2++
+		case core.Satisfied:
+			o.stats.GroupScans++
+			accept()
+		default:
+			o.stats.GroupScans++
+		}
+		return o
+	}
+
+	o.stats.GroupScans++
+	ok, err := core.CheckBasicStats(post, e.cfg.P, e.cfg.K)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	if ok {
+		accept()
+	}
+	return o
+}
+
+// materialize builds the masked table for a node the statistics proved
+// satisfying, through the same pipeline the direct path runs.
+func (e *evaluator) materialize(node lattice.Node, o *outcome) {
+	g, err := e.cache.ApplyQIs(e.qis, node)
+	if err != nil {
+		o.err = err
+		return
+	}
+	mm, suppressed, within, err := e.m.SuppressWithin(g, e.cfg.K, e.cfg.MaxSuppress)
+	if err != nil {
+		o.err = err
+		return
+	}
+	if !within {
+		// Unreachable when the statistics are exact; surfacing it as an
+		// error beats silently disagreeing with the direct path.
+		o.err = fmt.Errorf("search: rollup stats admitted node %v but suppression exceeds the budget", node)
+		return
+	}
+	o.ok, o.masked, o.suppressed = true, mm, suppressed
 }
 
 // run evaluates the nodes, serially or on the worker pool. With

@@ -83,6 +83,66 @@ func Incognito(im *table.Table, cfg Config) (IncognitoResult, error) {
 		masks[pc] = append(masks[pc], mask)
 	}
 
+	// With the roll-up store on, frequency sets roll up across QI
+	// subsets too — the classic Incognito formulation: the base-level
+	// statistics over the full QI set are computed once, and every
+	// subset lattice's bottom is a projection of them, so no subset
+	// search ever re-scans rows. Projections chain by descending subset
+	// size — each mask projects from a one-attribute-larger superset
+	// with the fewest groups — so most merge a few hundred groups
+	// instead of the full base-level group set.
+	var projStats map[uint32]*table.GroupStats
+	if sharedCache != nil && !cfg.DisableRollup {
+		conf := cfg.Confidential
+		if cfg.P <= 1 {
+			conf = nil
+		}
+		w := cfg.Workers
+		if w < 1 {
+			w = 1
+		}
+		baseStats, err := im.GroupStats(qis, conf, w)
+		if err != nil {
+			return IncognitoResult{}, err
+		}
+		fullMask := uint32(1<<mAttrs) - 1
+		projStats = make(map[uint32]*table.GroupStats, fullMask)
+		projStats[fullMask] = baseStats
+		for size := mAttrs - 1; size >= 1; size-- {
+			for _, mask := range masks[size] {
+				var parent *table.GroupStats
+				var parentMask uint32
+				for i := 0; i < mAttrs; i++ {
+					if mask&(1<<uint(i)) != 0 {
+						continue
+					}
+					if ps := projStats[mask|1<<uint(i)]; parent == nil || ps.NumGroups() < parent.NumGroups() {
+						parent, parentMask = ps, mask|1<<uint(i)
+					}
+				}
+				// keep holds the positions of mask's attributes among the
+				// parent's key columns (the parent mask's set bits,
+				// ascending).
+				keep := make([]int, 0, size)
+				col := 0
+				for i := 0; i < mAttrs; i++ {
+					if parentMask&(1<<uint(i)) == 0 {
+						continue
+					}
+					if mask&(1<<uint(i)) != 0 {
+						keep = append(keep, col)
+					}
+					col++
+				}
+				proj, err := parent.Project(keep)
+				if err != nil {
+					return IncognitoResult{}, err
+				}
+				projStats[mask] = proj
+			}
+		}
+	}
+
 	for size := 1; size <= mAttrs; size++ {
 		for _, mask := range masks[size] {
 			attrs, dims := subsetOf(qis, fullDims, mask)
@@ -98,6 +158,13 @@ func Incognito(im *table.Table, cfg Config) (IncognitoResult, error) {
 			}
 
 			subEval := newEvaluator(im, subMasker, sharedCache, subCfg, bounds)
+			// Only the final full-QI pass reads masked tables from the
+			// outcomes; smaller subsets exist purely to prune, so their
+			// stats-path evaluations stop at the verdict.
+			subEval.noMaterialize = size < mAttrs
+			if s := projStats[mask]; s != nil && subEval.rollups != nil {
+				subEval.rollups.seed(make(lattice.Node, size), s)
+			}
 
 			sat := make(map[string]bool)
 			satisfied[mask] = sat

@@ -1,0 +1,117 @@
+package table
+
+import (
+	"fmt"
+	"math"
+)
+
+// unmappedCode marks dense CodeMap slots no source code was observed
+// for. Columns never produce it as a real code (it would require an
+// int64 column holding math.MinInt, which Code would truncate anyway).
+const unmappedCode = math.MinInt
+
+// denseCodeMapSpan bounds the source code range a CodeMap will cover
+// with a flat slice; wider ranges fall back to a hash map so sparse
+// numeric columns do not explode memory.
+const denseCodeMapSpan = 1 << 20
+
+// CodeMap translates the codes of one column into the codes of a
+// row-aligned column over the same rows. The roll-up layer uses it to
+// move a QI-group key from one hierarchy level to a more generalized
+// one without rescanning rows: full-domain recoding guarantees the
+// translation is a function (rows that agree at the finer level agree
+// at every coarser level).
+//
+// A nil *CodeMap is the identity translation; Map on it returns the
+// code unchanged.
+type CodeMap struct {
+	lo     int
+	dense  []int
+	sparse map[int]int
+}
+
+// Map translates a source code. ok is false when the code was never
+// observed in the source column the map was built from.
+func (m *CodeMap) Map(code int) (int, bool) {
+	if m == nil {
+		return code, true
+	}
+	if m.dense != nil {
+		i := code - m.lo
+		if i < 0 || i >= len(m.dense) || m.dense[i] == unmappedCode {
+			return 0, false
+		}
+		return m.dense[i], true
+	}
+	v, ok := m.sparse[code]
+	return v, ok
+}
+
+// Len reports the number of distinct source codes the map covers.
+func (m *CodeMap) Len() int {
+	if m == nil {
+		return 0
+	}
+	if m.dense != nil {
+		n := 0
+		for _, v := range m.dense {
+			if v != unmappedCode {
+				n++
+			}
+		}
+		return n
+	}
+	return len(m.sparse)
+}
+
+// BuildCodeMap derives the code translation from one column to a
+// row-aligned column: for every row r, Map(from.Code(r)) ==
+// to.Code(r). It errors when the columns disagree on length or when
+// the relation is not functional — two rows sharing a source code but
+// holding different target codes — which would mean the columns are
+// not nested refinements of each other (a broken hierarchy).
+func BuildCodeMap(from, to Column) (*CodeMap, error) {
+	if from == nil || to == nil {
+		return nil, fmt.Errorf("table: code map requires two columns")
+	}
+	n := from.Len()
+	if to.Len() != n {
+		return nil, fmt.Errorf("table: code map columns have %d vs %d rows", n, to.Len())
+	}
+	m := &CodeMap{}
+	if cr, ok := from.(codeRanger); ok {
+		if lo, hi, ok := cr.CodeRange(); ok && hi >= lo && hi-lo < denseCodeMapSpan {
+			m.lo = lo
+			m.dense = make([]int, hi-lo+1)
+			for i := range m.dense {
+				m.dense[i] = unmappedCode
+			}
+		}
+	}
+	if m.dense == nil {
+		m.sparse = make(map[int]int)
+	}
+	for r := 0; r < n; r++ {
+		fc, tc := from.Code(r), to.Code(r)
+		if m.dense != nil {
+			i := fc - m.lo
+			if i < 0 || i >= len(m.dense) {
+				return nil, fmt.Errorf("table: code map: row %d code %d outside declared range", r, fc)
+			}
+			switch cur := m.dense[i]; cur {
+			case unmappedCode:
+				m.dense[i] = tc
+			case tc:
+			default:
+				return nil, fmt.Errorf("table: code map not functional: code %d maps to both %d and %d", fc, cur, tc)
+			}
+			continue
+		}
+		if cur, ok := m.sparse[fc]; !ok {
+			m.sparse[fc] = tc
+		} else if cur != tc {
+			return nil, fmt.Errorf("table: code map not functional: code %d maps to both %d and %d", fc, cur, tc)
+		}
+	}
+	return m, nil
+}

@@ -76,6 +76,18 @@ func (p packPlan) key(cols []Column, r int) uint64 {
 	return k
 }
 
+// groupHint sizes the group-index maps of GroupBy, NumGroups and
+// GroupStats: half the rows is a fine guess for small tables, but on
+// large low-cardinality tables it over-allocates badly (a million-row
+// table rarely has half a million QI-groups), so the hint is capped.
+func groupHint(nrows int) int {
+	const maxHint = 1 << 16
+	if h := nrows/2 + 1; h < maxHint {
+		return h
+	}
+	return maxHint
+}
+
 // GroupBy partitions the table's rows by equality on the named columns.
 // Groups are returned in order of first appearance, which makes results
 // deterministic for a given row order. This is the engine behind the
@@ -107,7 +119,7 @@ func (t *Table) GroupBy(names ...string) ([]Group, error) {
 		return Group{Key: kv}
 	}
 	if plan, ok := packedPlan(cols); ok {
-		idx := make(map[uint64]int, t.nrows/2+1)
+		idx := make(map[uint64]int, groupHint(t.nrows))
 		for r := 0; r < t.nrows; r++ {
 			k := plan.key(cols, r)
 			g, ok := idx[k]
@@ -120,7 +132,7 @@ func (t *Table) GroupBy(names ...string) ([]Group, error) {
 		}
 		return groups, nil
 	}
-	idx := make(map[string]int, t.nrows/2+1)
+	idx := make(map[string]int, groupHint(t.nrows))
 	key := make([]byte, 0, 16*len(cols))
 	for r := 0; r < t.nrows; r++ {
 		key = key[:0]
@@ -154,13 +166,13 @@ func (t *Table) NumGroups(names ...string) (int, error) {
 		cols[i] = c
 	}
 	if plan, ok := packedPlan(cols); ok {
-		seen := make(map[uint64]struct{}, t.nrows/2+1)
+		seen := make(map[uint64]struct{}, groupHint(t.nrows))
 		for r := 0; r < t.nrows; r++ {
 			seen[plan.key(cols, r)] = struct{}{}
 		}
 		return len(seen), nil
 	}
-	seen := make(map[string]struct{}, t.nrows/2+1)
+	seen := make(map[string]struct{}, groupHint(t.nrows))
 	key := make([]byte, 0, 16*len(cols))
 	for r := 0; r < t.nrows; r++ {
 		key = key[:0]
@@ -220,14 +232,6 @@ func (t *Table) DistinctCount(name string) (int, error) {
 	c, err := t.Column(name)
 	if err != nil {
 		return 0, err
-	}
-	if sc, ok := c.(*stringColumn); ok {
-		// Dictionary cardinality equals distinct count only if every
-		// dictionary entry is referenced; gathered columns rebuild their
-		// dictionaries so this holds, but count codes to stay safe.
-		if sc.Len() == 0 {
-			return 0, nil
-		}
 	}
 	seen := make(map[int]struct{})
 	for i := 0; i < c.Len(); i++ {

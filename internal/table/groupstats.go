@@ -1,0 +1,490 @@
+package table
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file implements the group-statistics roll-up layer. Every
+// p-sensitive k-anonymity verdict depends only on per-QI-group
+// aggregates — the group's size and, per confidential attribute, the
+// histogram of confidential codes — never on the rows themselves.
+// GroupStats captures exactly those aggregates, and because full-domain
+// generalization only ever merges QI-groups as the lattice is climbed,
+// the aggregates at a more generalized node are a pure merge (Rollup)
+// of the aggregates at any less generalized node: O(#groups) instead of
+// O(#rows) per lattice node.
+
+// CodeCount is one histogram entry: a confidential-attribute code and
+// its number of occurrences inside a group. Count is always >= 1, so
+// the distinct-value count of a group equals the histogram length.
+type CodeCount struct {
+	Code  int
+	Count int
+}
+
+// CodeHist is the per-(group, confidential attribute) frequency
+// histogram, sorted by ascending code so two histograms merge in a
+// single linear pass.
+type CodeHist []CodeCount
+
+// Distinct returns the number of distinct codes in the histogram.
+func (h CodeHist) Distinct() int { return len(h) }
+
+// Total returns the summed counts (the group size, when the histogram
+// covers a whole group).
+func (h CodeHist) Total() int {
+	n := 0
+	for _, e := range h {
+		n += e.Count
+	}
+	return n
+}
+
+// MaxCount returns the largest single-code count (0 for an empty
+// histogram) — the numerator of the (p, alpha)-sensitivity test.
+func (h CodeHist) MaxCount() int {
+	max := 0
+	for _, e := range h {
+		if e.Count > max {
+			max = e.Count
+		}
+	}
+	return max
+}
+
+// mergeHists returns the entry-wise sum of two sorted histograms as a
+// freshly allocated slice, leaving both inputs untouched (Rollup relies
+// on that to share unmerged histograms with its source).
+func mergeHists(a, b CodeHist) CodeHist {
+	out := make(CodeHist, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Code < b[j].Code:
+			out = append(out, a[i])
+			i++
+		case a[i].Code > b[j].Code:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, CodeCount{Code: a[i].Code, Count: a[i].Count + b[j].Count})
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// GroupStat summarizes one QI-group without retaining its rows: the
+// group's QI codes (one per key column, in the code space of the node
+// the stats were computed at), its size, and one confidential-code
+// histogram per confidential attribute.
+type GroupStat struct {
+	Codes []int
+	Size  int
+	Hists []CodeHist
+}
+
+// GroupStats is the aggregate form of a GroupBy: everything the
+// p-sensitive k-anonymity family of checks needs, in O(#groups) memory.
+// Groups appear in order of first appearance of their rows, matching
+// GroupBy's ordering contract.
+type GroupStats struct {
+	// NumRows is the number of rows the groups cover.
+	NumRows int
+	// NumQI and NumConf record the key and confidential attribute
+	// counts, so verdicts remain well-defined on empty tables.
+	NumQI   int
+	NumConf int
+	// Groups holds one entry per QI-group, in first-appearance order.
+	Groups []GroupStat
+}
+
+// NumGroups returns the number of QI-groups.
+func (s *GroupStats) NumGroups() int { return len(s.Groups) }
+
+// TuplesBelow counts the tuples in groups smaller than k — the number
+// of tuples suppression would remove to reach k-anonymity.
+func (s *GroupStats) TuplesBelow(k int) int {
+	n := 0
+	for i := range s.Groups {
+		if s.Groups[i].Size < k {
+			n += s.Groups[i].Size
+		}
+	}
+	return n
+}
+
+// MinGroupSize returns the smallest group size (0 when empty).
+func (s *GroupStats) MinGroupSize() int {
+	if len(s.Groups) == 0 {
+		return 0
+	}
+	min := s.Groups[0].Size
+	for i := range s.Groups[1:] {
+		if s.Groups[i+1].Size < min {
+			min = s.Groups[i+1].Size
+		}
+	}
+	return min
+}
+
+// SuppressBelow returns the statistics of the table after tuple
+// suppression at threshold k: every group smaller than k is removed
+// whole. Group values are shared with the receiver, which stays valid.
+// This is exactly what table-level Suppress does to the groups —
+// suppression removes whole groups, never parts of them — so verdicts
+// computed on the result match verdicts on the suppressed table.
+func (s *GroupStats) SuppressBelow(k int) *GroupStats {
+	out := &GroupStats{NumQI: s.NumQI, NumConf: s.NumConf}
+	out.Groups = make([]GroupStat, 0, len(s.Groups))
+	for i := range s.Groups {
+		if s.Groups[i].Size >= k {
+			out.Groups = append(out.Groups, s.Groups[i])
+			out.NumRows += s.Groups[i].Size
+		}
+	}
+	return out
+}
+
+// Rollup maps the receiver's groups onto a more generalized lattice
+// node's groups: maps[i] translates QI column i's codes from the
+// receiver's level to the target level (nil meaning the level did not
+// change), and groups whose translated keys collide are merged —
+// sizes added, histograms summed. The result is byte-identical to
+// computing GroupStats directly on the generalized table, including
+// group order: ancestor groups inherit the first-appearance order of
+// their earliest constituent, which is the first-appearance order of
+// their rows.
+func (s *GroupStats) Rollup(maps []*CodeMap) (*GroupStats, error) {
+	if len(maps) != s.NumQI {
+		return nil, fmt.Errorf("table: rollup got %d code maps for %d key columns", len(maps), s.NumQI)
+	}
+	// Pass 1: translate codes, assign each source group its target, add
+	// sizes. Histograms wait for pass 2 so a target merged from many
+	// sources accumulates its entries once instead of paying a fresh
+	// sorted-merge allocation per source.
+	out := &GroupStats{NumRows: s.NumRows, NumQI: s.NumQI, NumConf: s.NumConf}
+	idx := make(map[string]int, groupHint(len(s.Groups)))
+	target := make([]int, len(s.Groups))
+	var members []int // sources per target group
+	key := make([]byte, 0, 16*s.NumQI)
+	mapped := make([]int, s.NumQI)
+	for gi := range s.Groups {
+		g := &s.Groups[gi]
+		for i, c := range g.Codes {
+			mc, ok := maps[i].Map(c)
+			if !ok {
+				return nil, fmt.Errorf("table: rollup: key column %d code %d has no translation", i, c)
+			}
+			mapped[i] = mc
+		}
+		key = key[:0]
+		for _, c := range mapped {
+			key = binary.AppendVarint(key, int64(c))
+		}
+		j, ok := idx[string(key)]
+		if !ok {
+			j = len(out.Groups)
+			idx[string(key)] = j
+			out.Groups = append(out.Groups, GroupStat{Codes: append([]int(nil), mapped...)})
+			members = append(members, 0)
+		}
+		target[gi] = j
+		members[j]++
+		out.Groups[j].Size += g.Size
+	}
+	mergeGroupHists(s.Groups, out, target, members)
+	return out, nil
+}
+
+// histFoldCutoff is the number of merged source groups above which a
+// target group's histograms are accumulated in maps instead of folded
+// with repeated sorted merges: a two-way linear merge beats map
+// operations for a handful of sources, while folding hundreds of
+// sources (the coarse roll-ups Incognito's small QI subsets produce)
+// would reallocate the growing histogram once per source.
+const histFoldCutoff = 8
+
+// mergeGroupHists fills in out.Groups[j].Hists given each source
+// group's target assignment (target) and each target's source count
+// (members). Single-source targets share the source's histograms —
+// both sides stay immutable — so the common fine-grained roll-up pays
+// nothing for groups that merely translate their codes.
+func mergeGroupHists(src []GroupStat, out *GroupStats, target, members []int) {
+	var histMaps [][]map[int]int
+	for gi := range src {
+		g := &src[gi]
+		j := target[gi]
+		switch {
+		case members[j] == 1:
+			out.Groups[j].Hists = g.Hists
+		case members[j] <= histFoldCutoff:
+			tg := &out.Groups[j]
+			if tg.Hists == nil {
+				tg.Hists = append([]CodeHist(nil), g.Hists...)
+				continue
+			}
+			for a := range tg.Hists {
+				// mergeHists allocates a fresh slice, so histograms
+				// shared with the sources are never mutated.
+				tg.Hists[a] = mergeHists(tg.Hists[a], g.Hists[a])
+			}
+		default:
+			if histMaps == nil {
+				histMaps = make([][]map[int]int, len(out.Groups))
+			}
+			hm := histMaps[j]
+			if hm == nil {
+				hm = make([]map[int]int, out.NumConf)
+				for a := range hm {
+					hm[a] = make(map[int]int, 8)
+				}
+				histMaps[j] = hm
+			}
+			for a, h := range g.Hists {
+				for _, e := range h {
+					hm[a][e.Code] += e.Count
+				}
+			}
+		}
+	}
+	for j, hm := range histMaps {
+		if hm == nil {
+			continue
+		}
+		hists := make([]CodeHist, len(hm))
+		for a := range hm {
+			h := make(CodeHist, 0, len(hm[a]))
+			for code, count := range hm[a] {
+				h = append(h, CodeCount{Code: code, Count: count})
+			}
+			sort.Slice(h, func(x, y int) bool { return h[x].Code < h[y].Code })
+			hists[a] = h
+		}
+		out.Groups[j].Hists = hists
+	}
+}
+
+// Project returns the statistics of grouping by only the kept key
+// columns (indices into the receiver's key columns, in the order the
+// projection should keep them): groups whose kept codes coincide are
+// merged — sizes added, histograms summed. Because the receiver's
+// groups are in first-appearance order of their rows and a projected
+// key first appears with the first row that carries it, the result is
+// byte-identical to computing GroupStats directly with the kept
+// columns as the key. This is the roll-up *across* QI subsets that
+// Incognito's frequency sets rely on, complementing Rollup's roll-up
+// along one subset's lattice.
+func (s *GroupStats) Project(keep []int) (*GroupStats, error) {
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("table: projection onto no key columns")
+	}
+	identity := len(keep) == s.NumQI
+	for ki, i := range keep {
+		if i < 0 || i >= s.NumQI {
+			return nil, fmt.Errorf("table: projection index %d outside %d key columns", i, s.NumQI)
+		}
+		identity = identity && i == ki
+	}
+	if identity {
+		// Keeping every column in place groups nothing further; the
+		// receiver is immutable, so it can be shared as-is.
+		return s, nil
+	}
+	// Same two-pass shape as Rollup: sizes and group assignment first,
+	// then histograms — shared for single-source groups, accumulated in
+	// maps for merged ones.
+	out := &GroupStats{NumRows: s.NumRows, NumQI: len(keep), NumConf: s.NumConf}
+	idx := make(map[string]int, groupHint(len(s.Groups)))
+	target := make([]int, len(s.Groups))
+	var members []int
+	key := make([]byte, 0, 16*len(keep))
+	for gi := range s.Groups {
+		g := &s.Groups[gi]
+		key = key[:0]
+		for _, i := range keep {
+			key = binary.AppendVarint(key, int64(g.Codes[i]))
+		}
+		j, ok := idx[string(key)]
+		if !ok {
+			j = len(out.Groups)
+			idx[string(key)] = j
+			codes := make([]int, len(keep))
+			for ki, i := range keep {
+				codes[ki] = g.Codes[i]
+			}
+			out.Groups = append(out.Groups, GroupStat{Codes: codes})
+			members = append(members, 0)
+		}
+		target[gi] = j
+		members[j]++
+		out.Groups[j].Size += g.Size
+	}
+	mergeGroupHists(s.Groups, out, target, members)
+	return out, nil
+}
+
+// GroupStats computes the roll-up aggregates of the table in one
+// sharded, parallel pass: rows are split into `workers` contiguous
+// shards, each shard groups its rows independently (through the same
+// packed-uint64 fast path as GroupBy when the key columns admit it),
+// and the shard results merge in row order — so the group order is
+// identical to the serial scan at every worker count. confidential may
+// be empty when only group sizes are needed (plain k-anonymity).
+func (t *Table) GroupStats(qis, confidential []string, workers int) (*GroupStats, error) {
+	if len(qis) == 0 {
+		return nil, fmt.Errorf("table: group stats with no key columns")
+	}
+	cols := make([]Column, len(qis))
+	for i, n := range qis {
+		c, err := t.Column(n)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	confCols := make([]Column, len(confidential))
+	for i, n := range confidential {
+		c, err := t.Column(n)
+		if err != nil {
+			return nil, err
+		}
+		confCols[i] = c
+	}
+	// Resolve the packing plan once, before any shard goroutine starts;
+	// CodeRange memoization is concurrency-safe but doing it here keeps
+	// the shards allocation-free on the plan.
+	plan, packed := packedPlan(cols)
+
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > t.nrows {
+		workers = t.nrows
+	}
+	if workers <= 1 {
+		return mergeStatShards([]*GroupStats{buildStatShard(cols, confCols, plan, packed, 0, t.nrows)}, len(qis), len(confidential)), nil
+	}
+	shards := make([]*GroupStats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * t.nrows / workers
+		hi := (w + 1) * t.nrows / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			shards[w] = buildStatShard(cols, confCols, plan, packed, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return mergeStatShards(shards, len(qis), len(confidential)), nil
+}
+
+// buildStatShard aggregates rows [lo, hi) into per-group stats, groups
+// ordered by first appearance within the shard.
+func buildStatShard(cols, confCols []Column, plan packPlan, packed bool, lo, hi int) *GroupStats {
+	s := &GroupStats{NumRows: hi - lo, NumQI: len(cols), NumConf: len(confCols)}
+	// histMaps[g][a] accumulates group g's histogram for confidential
+	// attribute a; converted to sorted CodeHists once the shard is done.
+	var histMaps [][]map[int]int
+	newGroup := func(r int) int {
+		codes := make([]int, len(cols))
+		for i, c := range cols {
+			codes[i] = c.Code(r)
+		}
+		s.Groups = append(s.Groups, GroupStat{Codes: codes})
+		hm := make([]map[int]int, len(confCols))
+		for a := range hm {
+			hm[a] = make(map[int]int, 4)
+		}
+		histMaps = append(histMaps, hm)
+		return len(s.Groups) - 1
+	}
+	account := func(g, r int) {
+		s.Groups[g].Size++
+		for a, c := range confCols {
+			histMaps[g][a][c.Code(r)]++
+		}
+	}
+	if packed {
+		idx := make(map[uint64]int, groupHint(hi-lo))
+		for r := lo; r < hi; r++ {
+			k := plan.key(cols, r)
+			g, ok := idx[k]
+			if !ok {
+				g = newGroup(r)
+				idx[k] = g
+			}
+			account(g, r)
+		}
+	} else {
+		idx := make(map[string]int, groupHint(hi-lo))
+		key := make([]byte, 0, 16*len(cols))
+		for r := lo; r < hi; r++ {
+			key = key[:0]
+			for _, c := range cols {
+				key = binary.AppendVarint(key, int64(c.Code(r)))
+			}
+			g, ok := idx[string(key)]
+			if !ok {
+				g = newGroup(r)
+				idx[string(key)] = g
+			}
+			account(g, r)
+		}
+	}
+	for g := range s.Groups {
+		s.Groups[g].Hists = make([]CodeHist, len(confCols))
+		for a := range confCols {
+			h := make(CodeHist, 0, len(histMaps[g][a]))
+			for code, count := range histMaps[g][a] {
+				h = append(h, CodeCount{Code: code, Count: count})
+			}
+			sort.Slice(h, func(i, j int) bool { return h[i].Code < h[j].Code })
+			s.Groups[g].Hists[a] = h
+		}
+	}
+	return s
+}
+
+// mergeStatShards concatenates shard-local stats in shard order,
+// merging groups that span shard boundaries. Because shard w covers
+// strictly earlier rows than shard w+1, first-appearance order over
+// the merged result equals first-appearance order of the serial scan.
+func mergeStatShards(shards []*GroupStats, numQI, numConf int) *GroupStats {
+	if len(shards) == 1 && shards[0] != nil {
+		return shards[0]
+	}
+	out := &GroupStats{NumQI: numQI, NumConf: numConf}
+	idx := make(map[string]int)
+	key := make([]byte, 0, 16*numQI)
+	for _, sh := range shards {
+		if sh == nil {
+			continue
+		}
+		out.NumRows += sh.NumRows
+		for gi := range sh.Groups {
+			g := &sh.Groups[gi]
+			key = key[:0]
+			for _, c := range g.Codes {
+				key = binary.AppendVarint(key, int64(c))
+			}
+			if j, ok := idx[string(key)]; ok {
+				tg := &out.Groups[j]
+				tg.Size += g.Size
+				for a := range tg.Hists {
+					tg.Hists[a] = mergeHists(tg.Hists[a], g.Hists[a])
+				}
+				continue
+			}
+			idx[string(key)] = len(out.Groups)
+			out.Groups = append(out.Groups, *g)
+		}
+	}
+	return out
+}

@@ -27,7 +27,11 @@ bench:
 
 # bench-json snapshots the roll-up benchmark (ns/op and allocs/op per
 # variant) into BENCH_rollup.json, the committed record of the roll-up
-# layer's win over the row-scanning engine.
+# layer's win over the row-scanning engine, and the policy benchmark
+# into BENCH_policy.json, the record of what composing properties
+# costs the search relative to the built-in single-property target.
 bench-json:
 	$(GO) test -run '^$$' -bench '^BenchmarkRollup$$' -benchmem -benchtime 10x . \
 		| $(GO) run ./cmd/benchjson > BENCH_rollup.json
+	$(GO) test -run '^$$' -bench '^BenchmarkPolicy$$' -benchmem -benchtime 10x . \
+		| $(GO) run ./cmd/benchjson > BENCH_policy.json

@@ -783,3 +783,73 @@ func BenchmarkDisclosureDecay(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPolicy measures what composing properties costs the lattice
+// search on the Adult workload: the built-in p-sensitive k-anonymity
+// target (Legacy), the same target expressed as a composite policy
+// (Composite — must cost the same, since the verdict path is shared),
+// and a strictly stronger conjunction adding 0.5-closeness (Strict —
+// the search the single-property path cannot express). Snapshotted to
+// BENCH_policy.json by `make bench-json`.
+func BenchmarkPolicy(b *testing.B) {
+	src, err := dataset.Generate(30000, 2006)
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := src.Sample(1000, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs, err := dataset.Hierarchies()
+	if err != nil {
+		b.Fatal(err)
+	}
+	conf := dataset.Confidential()
+	base := search.Config{
+		QIs:           dataset.QIs(),
+		Confidential:  conf,
+		Hierarchies:   hs,
+		K:             3,
+		P:             2,
+		MaxSuppress:   10,
+		UseConditions: true,
+	}
+	variants := []struct {
+		name string
+		mut  func(*search.Config)
+	}{
+		{"Legacy", func(c *search.Config) {}},
+		{"Composite", func(c *search.Config) {
+			c.Policy = core.All(
+				core.PSensitiveKAnonymityPolicy{P: c.P, K: c.K},
+				core.DistinctLDiversityPolicy{Attr: conf[0], L: c.P},
+			)
+		}},
+		{"Strict", func(c *search.Config) {
+			c.Policy = core.All(
+				core.PSensitiveKAnonymityPolicy{P: c.P, K: c.K},
+				core.TClosenessPolicy{Attr: conf[0], T: 0.5},
+			)
+		}},
+	}
+	for _, v := range variants {
+		cfg := base
+		v.mut(&cfg)
+		b.Run(fmt.Sprintf("Samarati/%s", v.name), func(b *testing.B) { benchSearch(b, im, cfg) })
+	}
+	for _, v := range variants {
+		cfg := base
+		v.mut(&cfg)
+		b.Run(fmt.Sprintf("Incognito/%s", v.name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := search.Incognito(im, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Minimal) == 0 {
+					b.Fatal("found nothing")
+				}
+			}
+		})
+	}
+}

@@ -5,10 +5,16 @@
 // Usage:
 //
 //	pskanon -in data.csv -job job.json -out masked.csv [-algorithm samarati]
+//	pskanon -in data.csv -job job.json -ldiv 2 -tclose 0.4 -out masked.csv
 //
 // The job file (see internal/config) names the quasi-identifiers,
 // confidential attributes, k, p, the suppression threshold, and the
-// generalization hierarchy for every quasi-identifier.
+// generalization hierarchy for every quasi-identifier. The -ldiv,
+// -tclose and -alpha flags conjoin extra properties onto the search
+// target (distinct l-diversity, t-closeness, the (p, alpha) frequency
+// cap), making every strategy look for the composite in one pass;
+// pskanon exits with a non-zero status when no generalization
+// satisfies the target within the suppression budget.
 package main
 
 import (

@@ -4,9 +4,17 @@
 // risk and attribute disclosure counts. It can also run ad-hoc SQL
 // against the file, since the paper defines its checks in SQL.
 //
+// The -ldiv, -tclose and -alpha flags conjoin extra properties onto
+// the p-sensitive k-anonymity target (distinct l-diversity,
+// t-closeness, and the (p, alpha) frequency cap, per confidential
+// attribute); when any is given, pskcheck evaluates the composite
+// policy and exits with a non-zero status if it is violated, so
+// release pipelines can gate on `pskcheck ... && publish`.
+//
 // Usage:
 //
 //	pskcheck -in masked.csv -qi Age,ZipCode,Sex -conf Illness -k 3 -p 2 [-violations]
+//	pskcheck -in masked.csv -qi Age,ZipCode,Sex -conf Illness -k 3 -p 2 -ldiv 2 -tclose 0.4
 //	pskcheck -in masked.csv -sql "SELECT COUNT(*) FROM T GROUP BY Sex"
 package main
 

@@ -18,6 +18,57 @@ import (
 	"psk/internal/dataset"
 )
 
+// policyFlags are the optional policy-composition flags shared by
+// pskcheck and pskanon. Any active flag extends the target property:
+// the base p-sensitive k-anonymity is conjoined with the requested
+// l-diversity / t-closeness / alpha constraints over the confidential
+// attributes, and the tools exit non-zero when the composition is
+// violated (pskcheck) or unachievable (pskanon).
+type policyFlags struct {
+	ldiv   int
+	tclose float64
+	alpha  float64
+}
+
+func registerPolicyFlags(fs *flag.FlagSet) *policyFlags {
+	pf := &policyFlags{}
+	fs.IntVar(&pf.ldiv, "ldiv", 0,
+		"also require distinct l-diversity with this l on every confidential attribute (0 = off; violation exits non-zero)")
+	fs.Float64Var(&pf.tclose, "tclose", -1,
+		"also require t-closeness with this t on every confidential attribute (negative = off; violation exits non-zero)")
+	fs.Float64Var(&pf.alpha, "alpha", 0,
+		"also cap each confidential value's within-group frequency at alpha, i.e. (p,alpha)-sensitivity (0 = off; violation exits non-zero)")
+	return pf
+}
+
+func (pf *policyFlags) active() bool { return pf.ldiv > 0 || pf.tclose >= 0 || pf.alpha > 0 }
+
+// compose builds the composite target policy, or nil when no policy
+// flag is active.
+func (pf *policyFlags) compose(confs []string, p, k int) (psk.Policy, error) {
+	if !pf.active() {
+		return nil, nil
+	}
+	if len(confs) == 0 {
+		return nil, fmt.Errorf("-ldiv/-tclose/-alpha require confidential attributes")
+	}
+	var parts []psk.Policy
+	if pf.alpha > 0 {
+		parts = append(parts, psk.PAlphaSensitivity(p, k, pf.alpha, confs))
+	} else {
+		parts = append(parts, psk.PSensitiveKAnonymity(p, k, confs))
+	}
+	for _, attr := range confs {
+		if pf.ldiv > 0 {
+			parts = append(parts, psk.DistinctLDiversity(attr, pf.ldiv))
+		}
+		if pf.tclose >= 0 {
+			parts = append(parts, psk.TClose(attr, pf.tclose))
+		}
+	}
+	return psk.AllOf(parts...), nil
+}
+
 // Anon implements pskanon: anonymize a CSV per a JSON job description.
 func Anon(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("pskanon", flag.ContinueOnError)
@@ -28,6 +79,7 @@ func Anon(args []string, stdout, stderr io.Writer) error {
 		out       = fs.String("out", "", "output CSV file (default: stdout)")
 		algorithm = fs.String("algorithm", "samarati", "search algorithm: samarati, bottomup, exhaustive")
 	)
+	pf := registerPolicyFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +117,11 @@ func Anon(args []string, stdout, stderr io.Writer) error {
 		P:                job.P,
 		MaxSuppress:      job.MaxSuppress,
 	}
+	pol, err := pf.compose(job.Confidential, job.P, job.K)
+	if err != nil {
+		return err
+	}
+	cfg.Policy = pol
 	switch *algorithm {
 	case "samarati":
 		cfg.Algorithm = psk.AlgorithmSamarati
@@ -81,6 +138,9 @@ func Anon(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if !res.Found {
+		if pol != nil {
+			return fmt.Errorf("no generalization satisfies %s within %d suppressions", pol.Name(), job.MaxSuppress)
+		}
 		maxP, err := psk.MaxP(data, job.Confidential)
 		if err == nil && job.P > maxP {
 			return fmt.Errorf("no solution: p = %d exceeds maxP = %d (necessary condition 1)", job.P, maxP)
@@ -89,6 +149,9 @@ func Anon(args []string, stdout, stderr io.Writer) error {
 			job.P, job.K, job.MaxSuppress)
 	}
 
+	if pol != nil {
+		fmt.Fprintf(stderr, "policy: %s\n", pol.Name())
+	}
 	fmt.Fprintf(stderr, "node: %s (height %d)\n", res.Node, res.Node.Height())
 	fmt.Fprintf(stderr, "rows: %d released, %d suppressed\n", res.Masked.NumRows(), res.Suppressed)
 	if rep, err := psk.MeasureUtility(data, res.Masked, cfg, res.Node); err == nil {
@@ -118,6 +181,7 @@ func Check(args []string, stdout, stderr io.Writer) error {
 		sql  = fs.String("sql", "", "run this SQL query against the file (table name: T) and exit")
 		verb = fs.Bool("violations", false, "list each violating QI-group")
 	)
+	pf := registerPolicyFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -143,6 +207,9 @@ func Check(args []string, stdout, stderr io.Writer) error {
 	confs := splitList(*conf)
 	if len(qis) == 0 {
 		return fmt.Errorf("-qi is required (or use -sql)")
+	}
+	if pf.active() && len(confs) == 0 {
+		return fmt.Errorf("-ldiv/-tclose/-alpha require -conf")
 	}
 
 	fmt.Fprintf(stdout, "rows: %d\n", data.NumRows())
@@ -212,6 +279,24 @@ func Check(args []string, stdout, stderr io.Writer) error {
 			}
 			fmt.Fprintf(stdout, "  violation [%s]: %s\n", v.KeyString(), why)
 		}
+	}
+
+	// Composite policy verdict: report and exit non-zero on violation,
+	// so scripts can gate a release on `pskcheck && publish`.
+	pol, err := pf.compose(confs, *p, *k)
+	if err != nil {
+		return err
+	}
+	if pol != nil {
+		verdict, err := psk.EvaluatePolicy(data, qis, confs, pol)
+		if err != nil {
+			return err
+		}
+		if !verdict.Satisfied {
+			fmt.Fprintf(stdout, "policy %s: VIOLATED (%s, QI-group #%d)\n", pol.Name(), verdict.Reason, verdict.Group)
+			return fmt.Errorf("policy %s violated: %s", pol.Name(), verdict.Reason)
+		}
+		fmt.Fprintf(stdout, "policy %s: satisfied (%d QI-groups)\n", pol.Name(), verdict.Groups)
 	}
 	return nil
 }

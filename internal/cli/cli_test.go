@@ -406,6 +406,105 @@ func TestAttackErrors(t *testing.T) {
 	}
 }
 
+// TestCheckPolicyFlags pins the composite-policy surface of pskcheck:
+// -ldiv/-tclose/-alpha conjoin extra properties, a satisfied composite
+// reports and exits zero, a violated one exits non-zero.
+func TestCheckPolicyFlags(t *testing.T) {
+	// Two groups of two, each with two distinct illnesses.
+	const diverseCSV = `Age,ZipCode,Sex,Illness
+20,43102,M,Diabetes
+20,43102,M,Flu
+30,43102,F,Breast Cancer
+30,43102,F,HIV
+`
+	dir := t.TempDir()
+	mmPath := filepath.Join(dir, "masked.csv")
+	if err := os.WriteFile(mmPath, []byte(diverseCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every group has 2 distinct illnesses: distinct 2-diversity on top
+	// of 2-sensitive 2-anonymity is satisfied.
+	var stdout, stderr strings.Builder
+	err := Check([]string{"-in", mmPath, "-qi", "Age,ZipCode,Sex", "-conf", "Illness",
+		"-k", "2", "-p", "2", "-ldiv", "2"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("satisfied policy errored: %v\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "policy all(2-sensitive-2-anonymity(Illness) and distinct-2-diversity(Illness)): satisfied") {
+		t.Errorf("satisfied verdict missing:\n%s", stdout.String())
+	}
+
+	// 3-diversity fails (2 distinct per group): non-zero exit.
+	stdout.Reset()
+	err = Check([]string{"-in", mmPath, "-qi", "Age,ZipCode,Sex", "-conf", "Illness",
+		"-k", "2", "-p", "2", "-ldiv", "3"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "violated") {
+		t.Errorf("violated policy err = %v", err)
+	}
+	if !strings.Contains(stdout.String(), "VIOLATED") {
+		t.Errorf("violation verdict missing:\n%s", stdout.String())
+	}
+
+	// Each group's illnesses split 50/50 at best, so alpha 0.4 fails...
+	stdout.Reset()
+	err = Check([]string{"-in", mmPath, "-qi", "Age,ZipCode,Sex", "-conf", "Illness",
+		"-k", "2", "-p", "2", "-alpha", "0.4"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "violated") {
+		t.Errorf("alpha 0.4 err = %v", err)
+	}
+	// ...and alpha 0.5 passes, as does a loose t-closeness bound.
+	stdout.Reset()
+	err = Check([]string{"-in", mmPath, "-qi", "Age,ZipCode,Sex", "-conf", "Illness",
+		"-k", "2", "-p", "2", "-alpha", "0.5", "-tclose", "1"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("alpha 0.5 + tclose 1: %v\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "satisfied") {
+		t.Errorf("verdict missing:\n%s", stdout.String())
+	}
+
+	// Policy flags without -conf are rejected.
+	if err := Check([]string{"-in", mmPath, "-qi", "Sex", "-ldiv", "2"}, &stdout, &stderr); err == nil {
+		t.Error("-ldiv without -conf accepted")
+	}
+}
+
+// TestAnonPolicyFlags drives pskanon with a composite search target:
+// the masked output must satisfy the extra l-diversity constraint, and
+// an unachievable constraint must exit non-zero naming the policy.
+func TestAnonPolicyFlags(t *testing.T) {
+	csvPath, jobPath, dir := writeFixtures(t)
+	outPath := filepath.Join(dir, "masked.csv")
+	var stdout, stderr strings.Builder
+	err := Anon([]string{"-in", csvPath, "-job", jobPath, "-ldiv", "2", "-out", outPath}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("Anon -ldiv 2: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "policy: all(2-sensitive-3-anonymity(Illness) and distinct-2-diversity(Illness))") {
+		t.Errorf("policy banner missing:\n%s", stderr.String())
+	}
+	masked, err := psk.ReadCSVFile(outPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qis := []string{"Age", "ZipCode", "Sex"}
+	if ok, err := psk.IsPSensitiveKAnonymous(masked, qis, []string{"Illness"}, 2, 3); err != nil || !ok {
+		t.Errorf("output not 2-sensitive 3-anonymous: %v", err)
+	}
+	if ok, err := psk.IsDistinctLDiverse(masked, qis, "Illness", 2); err != nil || !ok {
+		t.Errorf("output not distinct 2-diverse: %v", err)
+	}
+
+	// Illness has 5 distinct values overall; 6-diversity is impossible.
+	stdout.Reset()
+	stderr.Reset()
+	err = Anon([]string{"-in", csvPath, "-job", jobPath, "-ldiv", "6"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "distinct-6-diversity") {
+		t.Errorf("impossible composite err = %v", err)
+	}
+}
+
 // TestBenchJSON pins the bench-output-to-JSON conversion `make
 // bench-json` relies on.
 func TestBenchJSON(t *testing.T) {

@@ -17,7 +17,7 @@ import (
 // ExpNames lists the experiment identifiers Exp accepts, in the order
 // "all" runs them.
 var ExpNames = []string{"attack", "table3", "figure1", "figure2", "figure3",
-	"table4", "example1", "table7", "table8", "ablation", "utility", "methods", "decay"}
+	"table4", "example1", "table7", "table8", "ablation", "utility", "methods", "decay", "policy"}
 
 // Exp implements pskexp: regenerate the paper's tables and figures.
 func Exp(args []string, stdout, stderr io.Writer) error {
@@ -179,6 +179,13 @@ func Exp(args []string, stdout, stderr io.Writer) error {
 				return err
 			}
 			return emit("E14: masking methods comparison", res.Format())
+		},
+		"policy": func() error {
+			res, err := experiments.RunPolicyComposite(1000, 3, 2, source, *seed)
+			if err != nil {
+				return err
+			}
+			return emit("E16: composite-policy search", res.Format())
 		},
 	}
 

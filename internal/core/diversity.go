@@ -2,18 +2,19 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"psk/internal/table"
 )
 
-// This file implements the two follow-on privacy models most often
+// This file exposes the two follow-on privacy models most often
 // compared against p-sensitive k-anonymity in the literature it
 // spawned: l-diversity (Machanavajjhala et al. 2006) and t-closeness
 // (Li et al. 2007). They are not part of the paper itself but give the
 // library's users — and the benchmark harness — reference points for
 // how the models relate: distinct l-diversity with l = p is exactly
-// p-sensitivity for a single confidential attribute.
+// p-sensitivity for a single confidential attribute. Each function is a
+// thin wrapper over the statistics path; the group scans live in
+// policy.go.
 
 // IsDistinctLDiverse reports whether every QI-group contains at least l
 // distinct values of the confidential attribute. For one confidential
@@ -23,20 +24,11 @@ func IsDistinctLDiverse(t *table.Table, qis []string, confidential string, l int
 	if l < 1 {
 		return false, fmt.Errorf("core: l must be >= 1, got %d", l)
 	}
-	groups, err := t.GroupBy(qis...)
+	s, err := t.GroupStats(qis, []string{confidential}, 1)
 	if err != nil {
 		return false, err
 	}
-	for _, g := range groups {
-		d, err := t.DistinctInRows(confidential, g.Rows)
-		if err != nil {
-			return false, err
-		}
-		if d < l {
-			return false, nil
-		}
-	}
-	return true, nil
+	return DistinctLDiverseStats(s, 0, l)
 }
 
 // IsEntropyLDiverse reports whether every QI-group's confidential value
@@ -45,33 +37,11 @@ func IsEntropyLDiverse(t *table.Table, qis []string, confidential string, l int)
 	if l < 1 {
 		return false, fmt.Errorf("core: l must be >= 1, got %d", l)
 	}
-	col, err := t.Column(confidential)
+	s, err := t.GroupStats(qis, []string{confidential}, 1)
 	if err != nil {
 		return false, err
 	}
-	groups, err := t.GroupBy(qis...)
-	if err != nil {
-		return false, err
-	}
-	threshold := math.Log(float64(l))
-	for _, g := range groups {
-		counts := make(map[int]int)
-		for _, r := range g.Rows {
-			counts[col.Code(r)]++
-		}
-		entropy := 0.0
-		n := float64(len(g.Rows))
-		for _, c := range counts {
-			pr := float64(c) / n
-			entropy -= pr * math.Log(pr)
-		}
-		// Tolerate floating error at the boundary (uniform groups of
-		// exactly l values have entropy == log l).
-		if entropy+1e-12 < threshold {
-			return false, nil
-		}
-	}
-	return true, nil
+	return EntropyLDiverseStats(s, 0, l)
 }
 
 // TCloseness computes the maximum over QI-groups of the variational
@@ -79,45 +49,11 @@ func IsEntropyLDiverse(t *table.Table, qis []string, confidential string, l int)
 // confidential value distribution and the whole-table distribution. A
 // table is t-close when the returned value is <= t.
 func TCloseness(t *table.Table, qis []string, confidential string) (float64, error) {
-	col, err := t.Column(confidential)
+	s, err := t.GroupStats(qis, []string{confidential}, 1)
 	if err != nil {
 		return 0, err
 	}
-	if t.NumRows() == 0 {
-		return 0, nil
-	}
-	global := make(map[int]float64)
-	for i := 0; i < t.NumRows(); i++ {
-		global[col.Code(i)]++
-	}
-	n := float64(t.NumRows())
-	for k := range global {
-		global[k] /= n
-	}
-	groups, err := t.GroupBy(qis...)
-	if err != nil {
-		return 0, err
-	}
-	worst := 0.0
-	for _, g := range groups {
-		local := make(map[int]float64)
-		for _, r := range g.Rows {
-			local[col.Code(r)]++
-		}
-		gn := float64(len(g.Rows))
-		dist := 0.0
-		for code, p := range global {
-			q := local[code] / gn
-			dist += math.Abs(p - q)
-		}
-		// Values present locally are always present globally, so the sum
-		// above covers the full support.
-		dist /= 2
-		if dist > worst {
-			worst = dist
-		}
-	}
-	return worst, nil
+	return TClosenessStats(s, 0)
 }
 
 // CheckPAlpha tests (p, alpha)-sensitive k-anonymity, the frequency-
@@ -137,42 +73,9 @@ func CheckPAlpha(t *table.Table, qis, confidential []string, p, k int, alpha flo
 	if len(confidential) == 0 {
 		return false, fmt.Errorf("core: no confidential attributes")
 	}
-	cols := make([]table.Column, len(confidential))
-	for i, attr := range confidential {
-		c, err := t.Column(attr)
-		if err != nil {
-			return false, err
-		}
-		cols[i] = c
-	}
-	groups, err := t.GroupBy(qis...)
+	s, err := t.GroupStats(qis, confidential, 1)
 	if err != nil {
 		return false, err
 	}
-	for _, g := range groups {
-		if g.Size() < k {
-			return false, nil
-		}
-	}
-	for _, g := range groups {
-		for _, col := range cols {
-			counts := make(map[int]int, g.Size())
-			for _, r := range g.Rows {
-				counts[col.Code(r)]++
-			}
-			if len(counts) < p {
-				return false, nil
-			}
-			max := 0
-			for _, c := range counts {
-				if c > max {
-					max = c
-				}
-			}
-			if float64(max) > alpha*float64(g.Size()) {
-				return false, nil
-			}
-		}
-	}
-	return true, nil
+	return CheckPAlphaStats(s, p, k, alpha)
 }

@@ -39,10 +39,43 @@ func (c ExtendedConfig) maxLevel() int {
 	return c.Hierarchy.Height() - 1
 }
 
+// ConfLevelMaps resolves a confidential-attribute value hierarchy into
+// the per-level code translations the statistics path consumes:
+// maps[lvl] translates the table's ground confidential codes into the
+// codes of their level-lvl labels, for every level 0 through maxLevel.
+// Building the maps visits each distinct ground value once per level —
+// afterwards every extended verdict is histogram-only.
+func ConfLevelMaps(t *table.Table, confidential string, h hierarchy.Hierarchy, maxLevel int) ([]*table.CodeMap, error) {
+	base, err := t.Column(confidential)
+	if err != nil {
+		return nil, err
+	}
+	maps := make([]*table.CodeMap, maxLevel+1)
+	for lvl := 0; lvl <= maxLevel; lvl++ {
+		lvl := lvl
+		gen, err := t.MapColumn(confidential, func(v table.Value) (string, error) {
+			return h.Generalize(v.Str(), lvl)
+		})
+		if err != nil {
+			return nil, err
+		}
+		genCol, err := gen.Column(confidential)
+		if err != nil {
+			return nil, err
+		}
+		maps[lvl], err = table.BuildCodeMap(base, genCol)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return maps, nil
+}
+
 // CheckExtended reports whether the table satisfies extended
 // p-sensitive k-anonymity for the given confidential attribute: it is
 // k-anonymous, and every QI-group keeps at least p distinct labels at
-// every hierarchy level from 0 through MaxLevel.
+// every hierarchy level from 0 through MaxLevel. It is a thin wrapper
+// over the statistics path (CheckExtendedStats).
 func CheckExtended(t *table.Table, qis []string, confidential string, p, k int, cfg ExtendedConfig) (bool, error) {
 	if err := validatePK(p, k); err != nil {
 		return false, err
@@ -58,35 +91,15 @@ func CheckExtended(t *table.Table, qis []string, confidential string, p, k int, 
 	if maxLevel > cfg.Hierarchy.Height() {
 		return false, fmt.Errorf("core: MaxLevel %d exceeds hierarchy height %d", maxLevel, cfg.Hierarchy.Height())
 	}
-	col, err := t.Column(confidential)
+	levelMaps, err := ConfLevelMaps(t, confidential, cfg.Hierarchy, maxLevel)
+	if err != nil {
+		return false, fmt.Errorf("core: extended check: %w", err)
+	}
+	s, err := t.GroupStats(qis, []string{confidential}, 1)
 	if err != nil {
 		return false, err
 	}
-	groups, err := t.GroupBy(qis...)
-	if err != nil {
-		return false, err
-	}
-	for _, g := range groups {
-		if g.Size() < k {
-			return false, nil
-		}
-	}
-	for _, g := range groups {
-		for lvl := 0; lvl <= maxLevel; lvl++ {
-			seen := make(map[string]struct{}, g.Size())
-			for _, r := range g.Rows {
-				label, err := cfg.Hierarchy.Generalize(col.Value(r).Str(), lvl)
-				if err != nil {
-					return false, fmt.Errorf("core: extended check: %w", err)
-				}
-				seen[label] = struct{}{}
-			}
-			if len(seen) < p {
-				return false, nil
-			}
-		}
-	}
-	return true, nil
+	return CheckExtendedStats(s, 0, p, k, maxLevel, levelMaps)
 }
 
 // ExtendedSensitivity computes the largest p for which CheckExtended
@@ -100,30 +113,14 @@ func ExtendedSensitivity(t *table.Table, qis []string, confidential string, cfg 
 	if t.NumRows() == 0 {
 		return 0, nil
 	}
-	col, err := t.Column(confidential)
-	if err != nil {
-		return 0, err
-	}
-	groups, err := t.GroupBy(qis...)
-	if err != nil {
-		return 0, err
-	}
 	maxLevel := cfg.maxLevel()
-	min := -1
-	for _, g := range groups {
-		for lvl := 0; lvl <= maxLevel; lvl++ {
-			seen := make(map[string]struct{}, g.Size())
-			for _, r := range g.Rows {
-				label, err := cfg.Hierarchy.Generalize(col.Value(r).Str(), lvl)
-				if err != nil {
-					return 0, fmt.Errorf("core: extended sensitivity: %w", err)
-				}
-				seen[label] = struct{}{}
-			}
-			if min == -1 || len(seen) < min {
-				min = len(seen)
-			}
-		}
+	levelMaps, err := ConfLevelMaps(t, confidential, cfg.Hierarchy, maxLevel)
+	if err != nil {
+		return 0, fmt.Errorf("core: extended sensitivity: %w", err)
 	}
-	return min, nil
+	s, err := t.GroupStats(qis, []string{confidential}, 1)
+	if err != nil {
+		return 0, err
+	}
+	return ExtendedSensitivityStats(s, 0, maxLevel, levelMaps)
 }

@@ -9,6 +9,10 @@
 // the paper are what justify the Bounds type: bounds computed once on
 // the initial microdata remain valid for every masked microdata derived
 // by generalization and suppression.
+//
+// Every property is implemented once, as a Policy over group statistics
+// (policy.go); the table-based checks below and in the sibling files
+// are wrappers that build the statistics and evaluate the stats path.
 package core
 
 import (
@@ -27,16 +31,11 @@ func IsKAnonymous(t *table.Table, qis []string, k int) (bool, error) {
 	if t.NumRows() == 0 {
 		return true, nil
 	}
-	groups, err := t.GroupBy(qis...)
+	s, err := t.GroupStats(qis, nil, 1)
 	if err != nil {
 		return false, err
 	}
-	for _, g := range groups {
-		if g.Size() < k {
-			return false, nil
-		}
-	}
-	return true, nil
+	return IsKAnonymousStats(s, k)
 }
 
 // MinGroupSize returns the size of the smallest QI-group — the largest k
@@ -45,17 +44,11 @@ func MinGroupSize(t *table.Table, qis []string) (int, error) {
 	if t.NumRows() == 0 {
 		return 0, nil
 	}
-	groups, err := t.GroupBy(qis...)
+	s, err := t.GroupStats(qis, nil, 1)
 	if err != nil {
 		return 0, err
 	}
-	min := groups[0].Size()
-	for _, g := range groups[1:] {
-		if g.Size() < min {
-			min = g.Size()
-		}
-	}
-	return min, nil
+	return s.MinGroupSize(), nil
 }
 
 // TuplesViolatingK counts the tuples belonging to QI-groups smaller than
@@ -65,15 +58,9 @@ func TuplesViolatingK(t *table.Table, qis []string, k int) (int, error) {
 	if k < 1 {
 		return 0, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
-	groups, err := t.GroupBy(qis...)
+	s, err := t.GroupStats(qis, nil, 1)
 	if err != nil {
 		return 0, err
 	}
-	n := 0
-	for _, g := range groups {
-		if g.Size() < k {
-			n += g.Size()
-		}
-	}
-	return n, nil
+	return s.TuplesBelow(k), nil
 }

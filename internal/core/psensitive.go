@@ -6,13 +6,14 @@ import (
 	"psk/internal/table"
 )
 
-// Reason explains why a p-sensitive k-anonymity check failed, and in
-// particular which of Algorithm 2's gates rejected the table.
+// Reason explains why a privacy check failed, and in particular which
+// of Algorithm 2's gates rejected the table.
 type Reason int
 
-// Check outcomes, ordered by how early Algorithm 2 detects them.
+// Check outcomes, ordered by how early Algorithm 2 detects them; the
+// policy layer appends the outcomes of the follow-on properties.
 const (
-	// Satisfied: the table has p-sensitive k-anonymity.
+	// Satisfied: the table has the property.
 	Satisfied Reason = iota
 	// FailedCondition1: p exceeds the minimum distinct-value count of
 	// the confidential attributes (Condition 1).
@@ -25,6 +26,18 @@ const (
 	// NotPSensitive: some QI-group has fewer than p distinct values for
 	// some confidential attribute.
 	NotPSensitive
+	// NotLDiverse: some QI-group fails an l-diversity variant's
+	// threshold (distinct count, entropy, or recursive ratio).
+	NotLDiverse
+	// NotTClose: some QI-group's confidential distribution is farther
+	// than t from the table-wide distribution.
+	NotTClose
+	// NotAlphaBounded: some confidential value exceeds the alpha
+	// frequency bound inside a QI-group.
+	NotAlphaBounded
+	// NotExtended: some QI-group has fewer than p distinct categories at
+	// some level of the confidential value hierarchy.
+	NotExtended
 )
 
 // String names the reason.
@@ -40,15 +53,24 @@ func (r Reason) String() string {
 		return "not k-anonymous"
 	case NotPSensitive:
 		return "not p-sensitive"
+	case NotLDiverse:
+		return "not l-diverse"
+	case NotTClose:
+		return "not t-close"
+	case NotAlphaBounded:
+		return "exceeds the alpha frequency bound"
+	case NotExtended:
+		return "not extended p-sensitive"
 	default:
 		return fmt.Sprintf("reason(%d)", int(r))
 	}
 }
 
-// Result reports the outcome of a p-sensitive k-anonymity check
-// together with the quantities Algorithm 2 computed on the way.
+// Result reports the outcome of a privacy check together with the
+// quantities computed on the way. Every policy reports through this one
+// verdict type.
 type Result struct {
-	// Satisfied is true when the table has p-sensitive k-anonymity.
+	// Satisfied is true when the table has the property.
 	Satisfied bool
 	// Reason identifies the first gate that failed (or Satisfied).
 	Reason Reason
@@ -58,6 +80,15 @@ type Result struct {
 	MaxGroups int
 	// Groups is the number of QI-groups observed (when counted).
 	Groups int
+	// Group is the index (first-appearance order) of the first QI-group
+	// that violated the property, or -1 when no single group is
+	// implicated (satisfied, or a necessary-condition filter rejected
+	// the whole table).
+	Group int
+	// Attr is the histogram index of the confidential attribute
+	// implicated in the violation — a position in the confidential list
+	// the statistics were built with — or -1 when none is.
+	Attr int
 }
 
 func validatePK(p, k int) error {
@@ -73,9 +104,10 @@ func validatePK(p, k int) error {
 	return nil
 }
 
-// CheckBasic is the paper's Algorithm 1: test k-anonymity with a
-// group-by, then scan every (QI-group, confidential attribute) pair and
-// require at least p distinct values, stopping at the first violation.
+// CheckBasic is the paper's Algorithm 1: test k-anonymity, then require
+// at least p distinct values per (QI-group, confidential attribute)
+// pair, stopping at the first violation. It is a thin wrapper over the
+// statistics path (CheckBasicStats).
 func CheckBasic(t *table.Table, qis, confidential []string, p, k int) (bool, error) {
 	if err := validatePK(p, k); err != nil {
 		return false, err
@@ -83,27 +115,11 @@ func CheckBasic(t *table.Table, qis, confidential []string, p, k int) (bool, err
 	if len(confidential) == 0 {
 		return false, fmt.Errorf("core: no confidential attributes")
 	}
-	groups, err := t.GroupBy(qis...)
+	s, err := t.GroupStats(qis, confidential, 1)
 	if err != nil {
 		return false, err
 	}
-	for _, g := range groups {
-		if g.Size() < k {
-			return false, nil
-		}
-	}
-	for _, g := range groups {
-		for _, attr := range confidential {
-			ok, err := t.DistinctAtLeast(attr, g.Rows, p)
-			if err != nil {
-				return false, err
-			}
-			if !ok {
-				return false, nil
-			}
-		}
-	}
-	return true, nil
+	return CheckBasicStats(s, p, k)
 }
 
 // Check is the paper's Algorithm 2: evaluate the two necessary
@@ -121,56 +137,17 @@ func Check(t *table.Table, qis, confidential []string, p, k int) (Result, error)
 // CheckWithBounds is Algorithm 2 with externally supplied bounds. The
 // typical caller computed them once on the initial microdata; Theorems 1
 // and 2 guarantee they remain valid for every masked microdata derived
-// by generalization and suppression.
+// by generalization and suppression. It is a thin wrapper over the
+// statistics path (CheckStatsWithBounds).
 func CheckWithBounds(t *table.Table, qis, confidential []string, p, k int, bounds Bounds) (Result, error) {
 	if err := validatePK(p, k); err != nil {
 		return Result{}, err
 	}
-	res := Result{MaxP: bounds.MaxP, MaxGroups: bounds.MaxGroups}
-
-	// First necessary condition.
-	if p > bounds.MaxP {
-		res.Reason = FailedCondition1
-		return res, nil
-	}
-
-	// Second necessary condition.
-	groups, err := t.GroupBy(qis...)
+	s, err := t.GroupStats(qis, confidential, 1)
 	if err != nil {
 		return Result{}, err
 	}
-	res.Groups = len(groups)
-	if p >= 2 && len(groups) > bounds.MaxGroups {
-		res.Reason = FailedCondition2
-		return res, nil
-	}
-
-	// k-anonymity.
-	for _, g := range groups {
-		if g.Size() < k {
-			res.Reason = NotKAnonymous
-			return res, nil
-		}
-	}
-
-	// Detailed p-sensitivity scan; only tables passing the two
-	// conditions reach this loop. DistinctAtLeast stops counting a
-	// group's values as soon as the p-th distinct one appears.
-	for _, g := range groups {
-		for _, attr := range confidential {
-			ok, err := t.DistinctAtLeast(attr, g.Rows, p)
-			if err != nil {
-				return Result{}, err
-			}
-			if !ok {
-				res.Reason = NotPSensitive
-				return res, nil
-			}
-		}
-	}
-	res.Satisfied = true
-	res.Reason = Satisfied
-	return res, nil
+	return CheckStatsWithBounds(s, p, k, bounds)
 }
 
 // Sensitivity computes the largest p for which the table (with its
@@ -184,35 +161,11 @@ func Sensitivity(t *table.Table, qis, confidential []string) (int, error) {
 	if t.NumRows() == 0 {
 		return 0, nil
 	}
-	groups, err := t.GroupBy(qis...)
+	s, err := t.GroupStats(qis, confidential, 1)
 	if err != nil {
 		return 0, err
 	}
-	min := -1
-	for _, g := range groups {
-		for _, attr := range confidential {
-			if min != -1 {
-				// A group already known to reach the running minimum
-				// cannot lower it; DistinctAtLeast short-circuits at min
-				// distinct values instead of counting them all.
-				atLeast, err := t.DistinctAtLeast(attr, g.Rows, min)
-				if err != nil {
-					return 0, err
-				}
-				if atLeast {
-					continue
-				}
-			}
-			d, err := t.DistinctInRows(attr, g.Rows)
-			if err != nil {
-				return 0, err
-			}
-			if min == -1 || d < min {
-				min = d
-			}
-		}
-	}
-	return min, nil
+	return SensitivityStats(s)
 }
 
 // AttributeDisclosures counts the (QI-group, confidential attribute)
@@ -227,21 +180,9 @@ func AttributeDisclosures(t *table.Table, qis, confidential []string, p int) (in
 	if len(confidential) == 0 {
 		return 0, fmt.Errorf("core: no confidential attributes")
 	}
-	groups, err := t.GroupBy(qis...)
+	s, err := t.GroupStats(qis, confidential, 1)
 	if err != nil {
 		return 0, err
 	}
-	count := 0
-	for _, g := range groups {
-		for _, attr := range confidential {
-			ok, err := t.DistinctAtLeast(attr, g.Rows, p)
-			if err != nil {
-				return 0, err
-			}
-			if !ok {
-				count++
-			}
-		}
-	}
-	return count, nil
+	return AttributeDisclosuresStats(s, p)
 }

@@ -7,14 +7,15 @@ import (
 	"psk/internal/table"
 )
 
-// This file re-states every verdict of the package on table.GroupStats
-// instead of the table itself. The checks are row-free: a group's size
-// and its per-confidential-attribute code histograms are all any of
-// the definitions actually consume, so a search engine that maintains
-// group statistics across lattice nodes (rolling them up instead of
-// re-scanning rows) gets identical verdicts in O(#groups) time. Each
-// function mirrors its table-based counterpart gate for gate; the
-// equivalence is pinned by TestStatsChecksMatchTableChecks.
+// This file exposes every verdict of the package on table.GroupStats.
+// The checks are row-free: a group's size and its per-confidential-
+// attribute code histograms are all any of the definitions actually
+// consume, so a search engine that maintains group statistics across
+// lattice nodes (rolling them up instead of re-scanning rows) gets
+// identical verdicts in O(#groups) time. These functions and the Policy
+// implementations share the group scans in policy.go — the statistics
+// path is the *only* verdict implementation; the table-based checks
+// wrap it.
 //
 // Confidential attributes are addressed by index into the stats'
 // histogram vector — position i corresponds to the i-th name in the
@@ -25,15 +26,7 @@ func IsKAnonymousStats(s *table.GroupStats, k int) (bool, error) {
 	if k < 1 {
 		return false, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
-	if s.NumRows == 0 {
-		return true, nil
-	}
-	for i := range s.Groups {
-		if s.Groups[i].Size < k {
-			return false, nil
-		}
-	}
-	return true, nil
+	return firstBelowK(s, k) == -1, nil
 }
 
 // TuplesViolatingKStats is TuplesViolatingK on group statistics.
@@ -46,8 +39,8 @@ func TuplesViolatingKStats(s *table.GroupStats, k int) (int, error) {
 
 // CheckBasicStats is Algorithm 1 (CheckBasic) on group statistics. The
 // histogram length is the group's distinct-value count, so the
-// DistinctAtLeast early exit of the table path becomes a plain length
-// comparison here.
+// DistinctAtLeast early exit of the row-scanning path becomes a plain
+// length comparison here.
 func CheckBasicStats(s *table.GroupStats, p, k int) (bool, error) {
 	if err := validatePK(p, k); err != nil {
 		return false, err
@@ -55,64 +48,26 @@ func CheckBasicStats(s *table.GroupStats, p, k int) (bool, error) {
 	if s.NumConf == 0 {
 		return false, fmt.Errorf("core: no confidential attributes")
 	}
-	for i := range s.Groups {
-		if s.Groups[i].Size < k {
-			return false, nil
-		}
+	if firstBelowK(s, k) >= 0 {
+		return false, nil
 	}
-	for i := range s.Groups {
-		for _, h := range s.Groups[i].Hists {
-			if h.Distinct() < p {
-				return false, nil
-			}
-		}
-	}
-	return true, nil
+	g, _ := firstLowDistinct(s, nil, p)
+	return g == -1, nil
 }
 
 // CheckStatsWithBounds is Algorithm 2 (CheckWithBounds) on group
 // statistics: the two necessary conditions as rejection filters, then
-// k-anonymity, then the detailed p-sensitivity scan. Gate order and
-// Result fields match the table path exactly.
+// k-anonymity, then the detailed p-sensitivity scan — the bounds-
+// wrapped p-sensitive k-anonymity policy evaluated over the stats.
 func CheckStatsWithBounds(s *table.GroupStats, p, k int, bounds Bounds) (Result, error) {
 	if err := validatePK(p, k); err != nil {
 		return Result{}, err
 	}
-	res := Result{MaxP: bounds.MaxP, MaxGroups: bounds.MaxGroups}
-
-	// First necessary condition.
-	if p > bounds.MaxP {
-		res.Reason = FailedCondition1
-		return res, nil
-	}
-
-	// Second necessary condition.
-	res.Groups = s.NumGroups()
-	if p >= 2 && res.Groups > bounds.MaxGroups {
-		res.Reason = FailedCondition2
-		return res, nil
-	}
-
-	// k-anonymity.
-	for i := range s.Groups {
-		if s.Groups[i].Size < k {
-			res.Reason = NotKAnonymous
-			return res, nil
-		}
-	}
-
-	// Detailed p-sensitivity scan.
-	for i := range s.Groups {
-		for _, h := range s.Groups[i].Hists {
-			if h.Distinct() < p {
-				res.Reason = NotPSensitive
-				return res, nil
-			}
-		}
-	}
-	res.Satisfied = true
-	res.Reason = Satisfied
-	return res, nil
+	// The conditions gate on the p being checked, which prevails over
+	// whatever p the bounds were computed for.
+	b := bounds
+	b.P = p
+	return WithBounds(PSensitiveKAnonymityPolicy{P: p, K: k}, b).Evaluate(StatsView{Stats: s})
 }
 
 // SensitivityStats is Sensitivity on group statistics: the minimum
@@ -171,12 +126,8 @@ func DistinctLDiverseStats(s *table.GroupStats, confIdx, l int) (bool, error) {
 	if err := validateConfIdx(s, confIdx); err != nil {
 		return false, err
 	}
-	for i := range s.Groups {
-		if s.Groups[i].Hists[confIdx].Distinct() < l {
-			return false, nil
-		}
-	}
-	return true, nil
+	g, _ := firstLowDistinct(s, []int{confIdx}, l)
+	return g == -1, nil
 }
 
 // EntropyLDiverseStats is IsEntropyLDiverse on group statistics: the
@@ -189,19 +140,7 @@ func EntropyLDiverseStats(s *table.GroupStats, confIdx, l int) (bool, error) {
 	if err := validateConfIdx(s, confIdx); err != nil {
 		return false, err
 	}
-	threshold := math.Log(float64(l))
-	for i := range s.Groups {
-		entropy := 0.0
-		n := float64(s.Groups[i].Size)
-		for _, e := range s.Groups[i].Hists[confIdx] {
-			pr := float64(e.Count) / n
-			entropy -= pr * math.Log(pr)
-		}
-		if entropy+1e-12 < threshold {
-			return false, nil
-		}
-	}
-	return true, nil
+	return firstLowEntropy(s, confIdx, l) == -1, nil
 }
 
 // TClosenessStats is TCloseness on group statistics: the global
@@ -211,36 +150,7 @@ func TClosenessStats(s *table.GroupStats, confIdx int) (float64, error) {
 	if err := validateConfIdx(s, confIdx); err != nil {
 		return 0, err
 	}
-	if s.NumRows == 0 {
-		return 0, nil
-	}
-	global := make(map[int]float64)
-	for i := range s.Groups {
-		for _, e := range s.Groups[i].Hists[confIdx] {
-			global[e.Code] += float64(e.Count)
-		}
-	}
-	n := float64(s.NumRows)
-	for code := range global {
-		global[code] /= n
-	}
-	worst := 0.0
-	for i := range s.Groups {
-		local := make(map[int]float64, len(s.Groups[i].Hists[confIdx]))
-		for _, e := range s.Groups[i].Hists[confIdx] {
-			local[e.Code] = float64(e.Count)
-		}
-		gn := float64(s.Groups[i].Size)
-		dist := 0.0
-		for code, p := range global {
-			q := local[code] / gn
-			dist += math.Abs(p - q)
-		}
-		dist /= 2
-		if dist > worst {
-			worst = dist
-		}
-	}
+	worst, _ := tclosenessScan(s, confIdx, math.Inf(1))
 	return worst, nil
 }
 
@@ -256,22 +166,11 @@ func CheckPAlphaStats(s *table.GroupStats, p, k int, alpha float64) (bool, error
 	if s.NumConf == 0 {
 		return false, fmt.Errorf("core: no confidential attributes")
 	}
-	for i := range s.Groups {
-		if s.Groups[i].Size < k {
-			return false, nil
-		}
+	if firstBelowK(s, k) >= 0 {
+		return false, nil
 	}
-	for i := range s.Groups {
-		for _, h := range s.Groups[i].Hists {
-			if h.Distinct() < p {
-				return false, nil
-			}
-			if float64(h.MaxCount()) > alpha*float64(s.Groups[i].Size) {
-				return false, nil
-			}
-		}
-	}
-	return true, nil
+	g, _, _ := firstAlphaViolation(s, nil, p, alpha)
+	return g == -1, nil
 }
 
 // CheckExtendedStats is CheckExtended on group statistics. The value
@@ -294,12 +193,34 @@ func CheckExtendedStats(s *table.GroupStats, confIdx, p, k, maxLevel int, levelM
 	if len(levelMaps) <= maxLevel {
 		return false, fmt.Errorf("core: extended stats check has %d level maps for maxLevel %d", len(levelMaps), maxLevel)
 	}
-	for i := range s.Groups {
-		if s.Groups[i].Size < k {
-			return false, nil
-		}
+	if firstBelowK(s, k) >= 0 {
+		return false, nil
 	}
-	seen := make(map[int]struct{}, p)
+	g, err := firstExtendedViolation(s, confIdx, p, maxLevel, levelMaps)
+	if err != nil {
+		return false, err
+	}
+	return g == -1, nil
+}
+
+// ExtendedSensitivityStats is ExtendedSensitivity on group statistics:
+// the minimum, over QI-groups and hierarchy levels 0..maxLevel, of the
+// distinct category count of the confIdx-th confidential attribute.
+func ExtendedSensitivityStats(s *table.GroupStats, confIdx, maxLevel int, levelMaps []*table.CodeMap) (int, error) {
+	if err := validateConfIdx(s, confIdx); err != nil {
+		return 0, err
+	}
+	if maxLevel < 0 {
+		return 0, fmt.Errorf("core: extended stats sensitivity requires maxLevel >= 0, got %d", maxLevel)
+	}
+	if len(levelMaps) <= maxLevel {
+		return 0, fmt.Errorf("core: extended stats sensitivity has %d level maps for maxLevel %d", len(levelMaps), maxLevel)
+	}
+	if s.NumRows == 0 {
+		return 0, nil
+	}
+	min := -1
+	seen := make(map[int]struct{})
 	for i := range s.Groups {
 		h := s.Groups[i].Hists[confIdx]
 		for lvl := 0; lvl <= maxLevel; lvl++ {
@@ -307,19 +228,14 @@ func CheckExtendedStats(s *table.GroupStats, confIdx, p, k, maxLevel int, levelM
 			for _, e := range h {
 				code, ok := levelMaps[lvl].Map(e.Code)
 				if !ok {
-					return false, fmt.Errorf("core: extended stats check: code %d has no level-%d translation", e.Code, lvl)
+					return 0, fmt.Errorf("core: extended stats sensitivity: code %d has no level-%d translation", e.Code, lvl)
 				}
 				seen[code] = struct{}{}
-				// DistinctAtLeast-style early exit: the level is satisfied
-				// as soon as the p-th category appears.
-				if len(seen) >= p {
-					break
-				}
 			}
-			if len(seen) < p {
-				return false, nil
+			if min == -1 || len(seen) < min {
+				min = len(seen)
 			}
 		}
 	}
-	return true, nil
+	return min, nil
 }

@@ -32,10 +32,34 @@ func (v GroupViolation) KeyString() string {
 	return strings.Join(parts, ", ")
 }
 
+// groupKey recovers a group's QI values from its representative row.
+func groupKey(cols []table.Column, g *table.GroupStat) []table.Value {
+	key := make([]table.Value, len(cols))
+	for i, c := range cols {
+		key[i] = c.Value(g.Rep)
+	}
+	return key
+}
+
+// qiColumns resolves the QI columns the group keys are rendered from.
+func qiColumns(t *table.Table, qis []string) ([]table.Column, error) {
+	cols := make([]table.Column, len(qis))
+	for i, n := range qis {
+		c, err := t.Column(n)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	return cols, nil
+}
+
 // Violations lists every QI-group violating p-sensitive k-anonymity,
 // in group first-appearance order. A nil slice means the table has the
-// property. This is the diagnostic companion to Check: same semantics,
-// full reporting instead of early exit.
+// property. This is the diagnostic companion to Check: the same group
+// statistics the policy verdicts run on, with full reporting instead of
+// the policies' first-violation early exit (group keys come from each
+// group's representative row).
 func Violations(t *table.Table, qis, confidential []string, p, k int) ([]GroupViolation, error) {
 	if err := validatePK(p, k); err != nil {
 		return nil, err
@@ -43,22 +67,23 @@ func Violations(t *table.Table, qis, confidential []string, p, k int) ([]GroupVi
 	if len(confidential) == 0 {
 		return nil, fmt.Errorf("core: no confidential attributes")
 	}
-	groups, err := t.GroupBy(qis...)
+	s, err := t.GroupStats(qis, confidential, 1)
+	if err != nil {
+		return nil, err
+	}
+	cols, err := qiColumns(t, qis)
 	if err != nil {
 		return nil, err
 	}
 	var out []GroupViolation
-	for _, g := range groups {
-		v := GroupViolation{Key: g.Key, Size: g.Size()}
-		if g.Size() < k {
+	for gi := range s.Groups {
+		g := &s.Groups[gi]
+		v := GroupViolation{Size: g.Size}
+		if g.Size < k {
 			v.TooSmall = true
 		}
-		for _, attr := range confidential {
-			d, err := t.DistinctInRows(attr, g.Rows)
-			if err != nil {
-				return nil, err
-			}
-			if d < p {
+		for a, attr := range confidential {
+			if d := g.Hists[a].Distinct(); d < p {
 				if v.LowDiversity == nil {
 					v.LowDiversity = make(map[string]int)
 				}
@@ -66,6 +91,7 @@ func Violations(t *table.Table, qis, confidential []string, p, k int) ([]GroupVi
 			}
 		}
 		if v.TooSmall || len(v.LowDiversity) > 0 {
+			v.Key = groupKey(cols, g)
 			out = append(out, v)
 		}
 	}
@@ -84,19 +110,20 @@ type GroupProfile struct {
 // order. Sensitivity(t) equals the minimum Distinct value over all
 // profiles; MinGroupSize(t) the minimum Size.
 func Profile(t *table.Table, qis, confidential []string) ([]GroupProfile, error) {
-	groups, err := t.GroupBy(qis...)
+	s, err := t.GroupStats(qis, confidential, 1)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]GroupProfile, 0, len(groups))
-	for _, g := range groups {
-		p := GroupProfile{Key: g.Key, Size: g.Size(), Distinct: make(map[string]int, len(confidential))}
-		for _, attr := range confidential {
-			d, err := t.DistinctInRows(attr, g.Rows)
-			if err != nil {
-				return nil, err
-			}
-			p.Distinct[attr] = d
+	cols, err := qiColumns(t, qis)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GroupProfile, 0, len(s.Groups))
+	for gi := range s.Groups {
+		g := &s.Groups[gi]
+		p := GroupProfile{Key: groupKey(cols, g), Size: g.Size, Distinct: make(map[string]int, len(confidential))}
+		for a, attr := range confidential {
+			p.Distinct[attr] = g.Hists[a].Distinct()
 		}
 		out = append(out, p)
 	}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"psk/internal/core"
 	"psk/internal/generalize"
 	"psk/internal/hierarchy"
 	"psk/internal/lattice"
@@ -35,6 +36,19 @@ type Config struct {
 	// MaxSuppress is the suppression threshold TS: the maximum number
 	// of tuples that may be removed after generalization.
 	MaxSuppress int
+	// Policy, when non-nil, replaces the built-in p-sensitive
+	// k-anonymity verdict: every candidate node's post-suppression group
+	// statistics are evaluated against this policy, so one search can
+	// target any property composition (core.All of l-diversity,
+	// t-closeness, (p, alpha), ... — "3-sensitive 5-anonymous AND
+	// 0.3-close" in one pass). P, Confidential and UseConditions are
+	// ignored when a policy is set (wrap the policy with core.WithBounds
+	// to keep the Algorithm 2 rejection filters); K still governs the
+	// suppression step, which removes sub-K groups within MaxSuppress
+	// before the policy runs. Samarati, AllMinimal and Incognito
+	// additionally require the policy to be monotone under group merging
+	// (every built-in core policy is); Exhaustive and BottomUp do not.
+	Policy core.Policy
 	// UseConditions enables the two necessary-condition filters of
 	// Algorithm 2 / Algorithm 3. Disabling them yields the naive
 	// baseline the paper's future-work section proposes to compare
@@ -83,14 +97,16 @@ func (c Config) validate() (*generalize.Masker, error) {
 	if c.K < 2 {
 		return nil, fmt.Errorf("search: k must be >= 2, got %d", c.K)
 	}
-	if c.P < 1 {
-		return nil, fmt.Errorf("search: p must be >= 1, got %d", c.P)
-	}
-	if c.P > c.K {
-		return nil, fmt.Errorf("search: p (%d) must be <= k (%d)", c.P, c.K)
-	}
-	if c.P >= 2 && len(c.Confidential) == 0 {
-		return nil, fmt.Errorf("search: p >= 2 requires confidential attributes")
+	if c.Policy == nil {
+		if c.P < 1 {
+			return nil, fmt.Errorf("search: p must be >= 1, got %d", c.P)
+		}
+		if c.P > c.K {
+			return nil, fmt.Errorf("search: p (%d) must be <= k (%d)", c.P, c.K)
+		}
+		if c.P >= 2 && len(c.Confidential) == 0 {
+			return nil, fmt.Errorf("search: p >= 2 requires confidential attributes")
+		}
 	}
 	if c.MaxSuppress < 0 {
 		return nil, fmt.Errorf("search: negative suppression threshold %d", c.MaxSuppress)
@@ -101,14 +117,59 @@ func (c Config) validate() (*generalize.Masker, error) {
 	return generalize.NewMasker(c.QIs, c.Hierarchies)
 }
 
+// effectiveConf lists the confidential attributes node statistics must
+// carry histograms for: the configured list joined with every attribute
+// the policy addresses by name. Plain k-anonymity searches need none.
+func (c Config) effectiveConf() []string {
+	if c.Policy == nil {
+		if c.P <= 1 {
+			return nil
+		}
+		return c.Confidential
+	}
+	out := append([]string(nil), c.Confidential...)
+	seen := make(map[string]bool, len(out))
+	for _, a := range out {
+		seen[a] = true
+	}
+	for _, a := range c.Policy.ConfAttrs() {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// effectivePolicy resolves the policy a search evaluates at every node:
+// the configured one, or the built-in equivalent of the legacy
+// parameters — plain k-anonymity for P <= 1, p-sensitive k-anonymity
+// otherwise, wrapped with the necessary-condition rejection filters
+// when they are enabled.
+func (c Config) effectivePolicy(bounds core.Bounds) core.Policy {
+	if c.Policy != nil {
+		return c.Policy
+	}
+	if c.P <= 1 {
+		return core.KAnonymityPolicy{K: c.K}
+	}
+	var p core.Policy = core.PSensitiveKAnonymityPolicy{P: c.P, K: c.K}
+	if c.UseConditions {
+		p = core.WithBounds(p, bounds)
+	}
+	return p
+}
+
 // Stats counts the work a search performed; the ablation benches use it
 // to quantify how much the necessary conditions prune.
 type Stats struct {
 	// NodesEvaluated is the number of lattice nodes whose masked
 	// microdata was materialized.
 	NodesEvaluated int
-	// PrunedCondition1 counts searches rejected outright by Condition 1
-	// (0 or 1: it is a property of the dataset, not of a node).
+	// PrunedCondition1 counts Condition 1 rejections. For the built-in
+	// property it is 0 or 1 — the condition is a property of the dataset,
+	// checked once before the lattice is touched. A custom Policy wrapped
+	// with core.WithBounds reports it per evaluated node instead.
 	PrunedCondition1 int
 	// PrunedCondition2 counts nodes rejected by the group-count bound
 	// before any detailed scan.

@@ -13,7 +13,7 @@ import (
 
 // evaluator is the shared node-evaluation engine behind every lattice
 // search strategy: it runs the per-node property check (generalize,
-// suppress within budget, test p-sensitive k-anonymity) either serially
+// suppress within budget, evaluate the policy) either serially
 // or on a bounded worker pool, and reduces per-node outcomes in
 // deterministic node order so that found nodes, masked tables and stats
 // never depend on goroutine scheduling.
@@ -32,6 +32,12 @@ type evaluator struct {
 	qis    []string
 	cfg    Config
 	bounds core.Bounds
+	// policy is the per-node verdict (cfg.effectivePolicy): the custom
+	// Config.Policy, or the built-in equivalent of the legacy P/K
+	// parameters. conf is the attribute list its statistics carry
+	// histograms for (cfg.effectiveConf).
+	policy core.Policy
+	conf   []string
 	// rollups, when non-nil, holds each evaluated node's pre-suppression
 	// group statistics so ancestor nodes are checked by merging groups
 	// (rollup.go) instead of re-scanning rows. It is per-search state:
@@ -52,7 +58,10 @@ func newEvaluator(im *table.Table, m *generalize.Masker, cache *generalize.Cache
 	if cache == nil && !cfg.DisableCache {
 		cache = m.NewCache(im)
 	}
-	e := &evaluator{im: im, m: m, cache: cache, qis: cfg.QIs, cfg: cfg, bounds: bounds}
+	e := &evaluator{
+		im: im, m: m, cache: cache, qis: cfg.QIs, cfg: cfg, bounds: bounds,
+		policy: cfg.effectivePolicy(bounds), conf: cfg.effectiveConf(),
+	}
 	if cache != nil && !cfg.DisableRollup {
 		e.rollups = newRollupStore()
 	}
@@ -129,41 +138,37 @@ func (e *evaluator) evalNode(node lattice.Node) outcome {
 	// release vacuously satisfies the property; the paper's Table 4
 	// relies on this (TS = 10 makes the bottom node 3-minimal).
 
-	if e.cfg.P <= 1 {
-		// Plain k-anonymity: suppression already guarantees it.
-		o.stats.GroupScans++
-		o.ok, o.masked, o.suppressed = true, mm, suppressed
-		return o
-	}
-
-	if e.cfg.UseConditions {
-		res, err := core.CheckWithBounds(mm, e.qis, e.cfg.Confidential, e.cfg.P, e.cfg.K, e.bounds)
-		if err != nil {
-			o.err = err
-			return o
-		}
-		switch res.Reason {
-		case core.FailedCondition2:
-			o.stats.PrunedCondition2++
-		case core.Satisfied:
-			o.stats.GroupScans++
-			o.ok, o.masked, o.suppressed = true, mm, suppressed
-		default:
-			o.stats.GroupScans++
-		}
-		return o
-	}
-
-	o.stats.GroupScans++
-	ok, err := core.CheckBasic(mm, e.qis, e.cfg.Confidential, e.cfg.P, e.cfg.K)
+	ps, err := mm.GroupStats(e.qis, e.conf, 1)
 	if err != nil {
 		o.err = err
 		return o
 	}
-	if ok {
+	res, err := e.policy.Evaluate(core.StatsView{Stats: ps, Conf: e.conf})
+	if err != nil {
+		o.err = err
+		return o
+	}
+	if e.verdict(res, &o) {
 		o.ok, o.masked, o.suppressed = true, mm, suppressed
 	}
 	return o
+}
+
+// verdict folds a policy result into the outcome's stats counters and
+// reports whether the node satisfies the policy. The counter mapping
+// mirrors Algorithm 3: bounds rejections are prunes that skipped the
+// detailed scan; everything else — satisfied or a real violation —
+// paid for one.
+func (e *evaluator) verdict(res core.Result, o *outcome) bool {
+	switch res.Reason {
+	case core.FailedCondition1:
+		o.stats.PrunedCondition1++
+	case core.FailedCondition2:
+		o.stats.PrunedCondition2++
+	default:
+		o.stats.GroupScans++
+	}
+	return res.Satisfied
 }
 
 // evalNodeStats is evalNode on group statistics: the node's
@@ -202,37 +207,12 @@ func (e *evaluator) evalNodeStats(node lattice.Node) outcome {
 		e.materialize(node, &o)
 	}
 
-	if e.cfg.P <= 1 {
-		o.stats.GroupScans++
-		accept()
-		return o
-	}
-
-	if e.cfg.UseConditions {
-		res, err := core.CheckStatsWithBounds(post, e.cfg.P, e.cfg.K, e.bounds)
-		if err != nil {
-			o.err = err
-			return o
-		}
-		switch res.Reason {
-		case core.FailedCondition2:
-			o.stats.PrunedCondition2++
-		case core.Satisfied:
-			o.stats.GroupScans++
-			accept()
-		default:
-			o.stats.GroupScans++
-		}
-		return o
-	}
-
-	o.stats.GroupScans++
-	ok, err := core.CheckBasicStats(post, e.cfg.P, e.cfg.K)
+	res, err := e.policy.Evaluate(core.StatsView{Stats: post, Conf: e.conf})
 	if err != nil {
 		o.err = err
 		return o
 	}
-	if ok {
+	if e.verdict(res, &o) {
 		accept()
 	}
 	return o

@@ -41,7 +41,7 @@ func Exhaustive(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 	if err != nil {
 		return ExhaustiveResult{}, err
 	}
-	if cfg.UseConditions && cfg.P >= 2 && !bounds.Feasible() {
+	if cfg.Policy == nil && cfg.UseConditions && cfg.P >= 2 && !bounds.Feasible() {
 		res.Stats.PrunedCondition1 = 1
 		return res, nil
 	}

@@ -28,7 +28,7 @@ func BottomUp(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 	if err != nil {
 		return ExhaustiveResult{}, err
 	}
-	if cfg.UseConditions && cfg.P >= 2 && !bounds.Feasible() {
+	if cfg.Policy == nil && cfg.UseConditions && cfg.P >= 2 && !bounds.Feasible() {
 		res.Stats.PrunedCondition1 = 1
 		return res, nil
 	}

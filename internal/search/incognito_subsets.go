@@ -49,7 +49,7 @@ func Incognito(im *table.Table, cfg Config) (IncognitoResult, error) {
 	if err != nil {
 		return IncognitoResult{}, err
 	}
-	if cfg.UseConditions && cfg.P >= 2 && !bounds.Feasible() {
+	if cfg.Policy == nil && cfg.UseConditions && cfg.P >= 2 && !bounds.Feasible() {
 		res.Stats.PrunedCondition1 = 1
 		return res, nil
 	}
@@ -93,10 +93,7 @@ func Incognito(im *table.Table, cfg Config) (IncognitoResult, error) {
 	// instead of the full base-level group set.
 	var projStats map[uint32]*table.GroupStats
 	if sharedCache != nil && !cfg.DisableRollup {
-		conf := cfg.Confidential
-		if cfg.P <= 1 {
-			conf = nil
-		}
+		conf := cfg.effectiveConf()
 		w := cfg.Workers
 		if w < 1 {
 			w = 1

@@ -103,15 +103,6 @@ func (s *rollupStore) nearestDescendant(node lattice.Node) *rollupEntry {
 	return best
 }
 
-// statsConf returns the confidential attributes the statistics must
-// carry histograms for; plain k-anonymity searches need only sizes.
-func (e *evaluator) statsConf() []string {
-	if e.cfg.P <= 1 {
-		return nil
-	}
-	return e.cfg.Confidential
-}
-
 // buildStats computes the node's pre-suppression statistics from rows:
 // the sharded, parallel group-by over the node's generalized table.
 func (e *evaluator) buildStats(node lattice.Node) (*table.GroupStats, error) {
@@ -123,7 +114,7 @@ func (e *evaluator) buildStats(node lattice.Node) (*table.GroupStats, error) {
 	if w < 1 {
 		w = 1
 	}
-	return g.GroupStats(e.qis, e.statsConf(), w)
+	return g.GroupStats(e.qis, e.conf, w)
 }
 
 // statsFor returns the node's pre-suppression group statistics,

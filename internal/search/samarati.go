@@ -44,7 +44,7 @@ func Samarati(im *table.Table, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if cfg.UseConditions && cfg.P >= 2 && !bounds.Feasible() {
+	if cfg.Policy == nil && cfg.UseConditions && cfg.P >= 2 && !bounds.Feasible() {
 		// First necessary condition: no masked microdata derived from im
 		// can be p-sensitive. Checked before touching the lattice.
 		res.Stats.PrunedCondition1 = 1
@@ -89,10 +89,12 @@ func Samarati(im *table.Table, cfg Config) (Result, error) {
 }
 
 // searchBounds computes the necessary-condition bounds on the initial
-// microdata when conditions are enabled and p >= 2; otherwise it
-// returns permissive bounds that never reject.
+// microdata when the built-in property is searched with conditions
+// enabled and p >= 2; otherwise it returns permissive bounds that never
+// reject. A custom Policy brings its own bounds (core.WithBounds), so
+// no dataset scan happens on its behalf here.
 func searchBounds(im *table.Table, cfg Config) (core.Bounds, error) {
-	if cfg.UseConditions && cfg.P >= 2 {
+	if cfg.Policy == nil && cfg.UseConditions && cfg.P >= 2 {
 		return core.ComputeBounds(im, cfg.Confidential, cfg.P)
 	}
 	return core.Bounds{MaxP: cfg.P, MaxGroups: im.NumRows(), P: cfg.P}, nil

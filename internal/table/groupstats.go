@@ -82,10 +82,17 @@ func mergeHists(a, b CodeHist) CodeHist {
 // GroupStat summarizes one QI-group without retaining its rows: the
 // group's QI codes (one per key column, in the code space of the node
 // the stats were computed at), its size, and one confidential-code
-// histogram per confidential attribute.
+// histogram per confidential attribute. Rep is the index of the
+// group's representative row — the first row that joined it — in the
+// table the statistics were originally scanned from; merges (Rollup,
+// Project, shard merging) keep the earliest constituent's Rep, which
+// by first-appearance ordering is still the merged group's first row.
+// It lets diagnostics recover a group's key values from one row lookup
+// without re-grouping the table.
 type GroupStat struct {
 	Codes []int
 	Size  int
+	Rep   int
 	Hists []CodeHist
 }
 
@@ -191,7 +198,7 @@ func (s *GroupStats) Rollup(maps []*CodeMap) (*GroupStats, error) {
 		if !ok {
 			j = len(out.Groups)
 			idx[string(key)] = j
-			out.Groups = append(out.Groups, GroupStat{Codes: append([]int(nil), mapped...)})
+			out.Groups = append(out.Groups, GroupStat{Codes: append([]int(nil), mapped...), Rep: g.Rep})
 			members = append(members, 0)
 		}
 		target[gi] = j
@@ -318,7 +325,7 @@ func (s *GroupStats) Project(keep []int) (*GroupStats, error) {
 			for ki, i := range keep {
 				codes[ki] = g.Codes[i]
 			}
-			out.Groups = append(out.Groups, GroupStat{Codes: codes})
+			out.Groups = append(out.Groups, GroupStat{Codes: codes, Rep: g.Rep})
 			members = append(members, 0)
 		}
 		target[gi] = j
@@ -397,7 +404,7 @@ func buildStatShard(cols, confCols []Column, plan packPlan, packed bool, lo, hi 
 		for i, c := range cols {
 			codes[i] = c.Code(r)
 		}
-		s.Groups = append(s.Groups, GroupStat{Codes: codes})
+		s.Groups = append(s.Groups, GroupStat{Codes: codes, Rep: r})
 		hm := make([]map[int]int, len(confCols))
 		for a := range hm {
 			hm[a] = make(map[int]int, 4)

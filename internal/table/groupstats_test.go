@@ -73,7 +73,7 @@ func statsFromGroupBy(t testing.TB, tbl *Table, qis, conf []string) *GroupStats 
 	}
 	out := &GroupStats{NumRows: tbl.NumRows(), NumQI: len(qis), NumConf: len(conf)}
 	for _, g := range groups {
-		gs := GroupStat{Size: g.Size(), Codes: make([]int, len(cols)), Hists: make([]CodeHist, len(conf))}
+		gs := GroupStat{Size: g.Size(), Codes: make([]int, len(cols)), Rep: g.Rows[0], Hists: make([]CodeHist, len(conf))}
 		for i, c := range cols {
 			gs.Codes[i] = c.Code(g.Rows[0])
 		}

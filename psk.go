@@ -165,6 +165,14 @@ type Config struct {
 	P int
 	// MaxSuppress is the suppression threshold TS.
 	MaxSuppress int
+	// Policy, when non-nil, replaces the built-in p-sensitive
+	// k-anonymity target: the search accepts the first (minimal) node
+	// whose suppressed masking satisfies this policy instead. Compose
+	// with AllOf — e.g. AllOf(PSensitiveKAnonymity(3, 5, nil),
+	// TClosenessPolicy("Disease", 0.3)) searches for "3-sensitive
+	// 5-anonymous and 0.3-close" in one pass. P and Confidential are
+	// ignored when set; K still drives the suppression step.
+	Policy Policy
 	// Algorithm selects the search strategy; zero value is Samarati.
 	Algorithm Algorithm
 	// DisableConditions turns off the necessary-condition filters
@@ -189,6 +197,7 @@ func (c Config) searchConfig() search.Config {
 		K:             c.K,
 		P:             c.P,
 		MaxSuppress:   c.MaxSuppress,
+		Policy:        c.Policy,
 		UseConditions: !c.DisableConditions,
 		Workers:       c.Workers,
 	}
@@ -527,4 +536,94 @@ func IsEntropyLDiverse(t *Table, qis []string, confidential string, l int) (bool
 // distribution; the table is t-close when the result is <= t.
 func TCloseness(t *Table, qis []string, confidential string) (float64, error) {
 	return core.TCloseness(t, qis, confidential)
+}
+
+// Policy is a composable privacy property evaluated over group
+// statistics. Every check in this package — p-sensitive k-anonymity,
+// l-diversity, t-closeness, (p, alpha), extended p-sensitivity — is a
+// Policy; AllOf conjoins them, and Config.Policy makes every search
+// strategy target the composition. Custom implementations must be
+// monotone under QI-group merging to be searched with Samarati,
+// AllMinimal or Incognito.
+type Policy = core.Policy
+
+// Verdict is a policy evaluation result: Satisfied, the Reason when
+// not, and the first violating group's index (Group, -1 when none).
+type Verdict = core.Result
+
+// Bounds are the Theorem 1-2 rejection bounds (maxP, maxGroups)
+// computed once on the initial microdata.
+type Bounds = core.Bounds
+
+// KAnonymity is plain k-anonymity (Definition 1) as a Policy.
+func KAnonymity(k int) Policy { return core.KAnonymityPolicy{K: k} }
+
+// PSensitivity requires p distinct values per (QI-group, confidential
+// attribute) pair; nil confidential means every attribute the search's
+// statistics carry.
+func PSensitivity(p int, confidential []string) Policy {
+	return core.PSensitivityPolicy{P: p, Attrs: confidential}
+}
+
+// PSensitiveKAnonymity is the paper's Definition 2 as a Policy.
+func PSensitiveKAnonymity(p, k int, confidential []string) Policy {
+	return core.PSensitiveKAnonymityPolicy{P: p, K: k, Attrs: confidential}
+}
+
+// DistinctLDiversity requires l distinct confidential values per group.
+func DistinctLDiversity(confidential string, l int) Policy {
+	return core.DistinctLDiversityPolicy{Attr: confidential, L: l}
+}
+
+// EntropyLDiversity requires per-group value entropy of at least log(l).
+func EntropyLDiversity(confidential string, l int) Policy {
+	return core.EntropyLDiversityPolicy{Attr: confidential, L: l}
+}
+
+// RecursiveLDiversity is recursive (c,l)-diversity: in every group the
+// most frequent value's count must stay below c times the sum of the
+// l-th most frequent onwards.
+func RecursiveLDiversity(confidential string, c float64, l int) Policy {
+	return core.RecursiveLDiversityPolicy{Attr: confidential, C: c, L: l}
+}
+
+// TClose requires every group's confidential distribution to stay
+// within variational distance t of the whole release's.
+func TClose(confidential string, t float64) Policy {
+	return core.TClosenessPolicy{Attr: confidential, T: t}
+}
+
+// PAlphaSensitivity is (p, alpha)-sensitive k-anonymity as a Policy.
+func PAlphaSensitivity(p, k int, alpha float64, confidential []string) Policy {
+	return core.PAlphaPolicy{P: p, K: k, Alpha: alpha, Attrs: confidential}
+}
+
+// AllOf conjoins policies: satisfied only when every part is; the
+// verdict of the first unsatisfied part is reported.
+func AllOf(policies ...Policy) Policy { return core.All(policies...) }
+
+// BoundedPolicy wraps a policy with the paper's Algorithm 2 rejection
+// filters: Condition 1 (p > maxP) and Condition 2 (too many QI-groups)
+// reject before the wrapped policy scans a single group. Compute the
+// bounds once on the initial microdata with ComputeBounds; Theorems 1
+// and 2 keep them valid for every derived masking.
+func BoundedPolicy(inner Policy, b Bounds) Policy { return core.WithBounds(inner, b) }
+
+// ComputeBounds evaluates the two necessary-condition bounds of the
+// paper on the initial microdata, for sensitivity parameter p.
+func ComputeBounds(t *Table, confidential []string, p int) (Bounds, error) {
+	return core.ComputeBounds(t, confidential, p)
+}
+
+// EvaluatePolicy checks a table against a policy directly (no search):
+// one group-statistics pass over the QIs, then the policy verdict.
+// confidential lists the attributes the statistics carry histograms
+// for; it must cover every attribute the policy names, and is what
+// attribute-agnostic policies (nil Attrs) apply to.
+func EvaluatePolicy(t *Table, qis, confidential []string, pol Policy) (Verdict, error) {
+	v, err := core.NewStatsView(t, qis, confidential, 1)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return pol.Evaluate(v)
 }

@@ -27,11 +27,16 @@ bench:
 
 # bench-json snapshots the roll-up benchmark (ns/op and allocs/op per
 # variant) into BENCH_rollup.json, the committed record of the roll-up
-# layer's win over the row-scanning engine, and the policy benchmark
+# layer's win over the row-scanning engine, the policy benchmark
 # into BENCH_policy.json, the record of what composing properties
-# costs the search relative to the built-in single-property target.
+# costs the search relative to the built-in single-property target,
+# and the telemetry overhead benchmark into BENCH_obs.json, the record
+# that a disabled recorder costs the search at most ~2% (nil-receiver
+# fast path) and an attached one stays in the same ballpark.
 bench-json:
 	$(GO) test -run '^$$' -bench '^BenchmarkRollup$$' -benchmem -benchtime 10x . \
 		| $(GO) run ./cmd/benchjson > BENCH_rollup.json
 	$(GO) test -run '^$$' -bench '^BenchmarkPolicy$$' -benchmem -benchtime 10x . \
 		| $(GO) run ./cmd/benchjson > BENCH_policy.json
+	$(GO) test -run '^$$' -bench '^BenchmarkObsOverhead$$' -benchmem -benchtime 10x . \
+		| $(GO) run ./cmd/benchjson > BENCH_obs.json

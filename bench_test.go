@@ -16,6 +16,7 @@ import (
 	"psk/internal/experiments"
 	"psk/internal/generalize"
 	"psk/internal/lattice"
+	"psk/internal/obs"
 	"psk/internal/search"
 	"psk/internal/table"
 )
@@ -851,5 +852,69 @@ func BenchmarkPolicy(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkObsOverhead measures what the telemetry layer costs the
+// search on the Adult workload: Off is the plain run (nil recorder —
+// the engine's zero-clock-read fast path), On attaches a fresh
+// recorder each iteration. The budget is at most 2% on the disabled
+// path, which BENCH_obs.json (`make bench-json`) records; On stays
+// cheap too because the counters are contention-free atomics.
+func BenchmarkObsOverhead(b *testing.B) {
+	src, err := dataset.Generate(30000, 2006)
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := src.Sample(1000, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs, err := dataset.Hierarchies()
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := search.Config{
+		QIs:           dataset.QIs(),
+		Confidential:  dataset.Confidential(),
+		Hierarchies:   hs,
+		K:             3,
+		P:             2,
+		MaxSuppress:   10,
+		UseConditions: true,
+	}
+	run := func(b *testing.B, observe bool, strat func(search.Config) (int, error)) {
+		for i := 0; i < b.N; i++ {
+			cfg := base
+			if observe {
+				cfg.Recorder = obs.NewRecorder()
+			}
+			n, err := strat(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				b.Fatal("found nothing")
+			}
+			if observe != (cfg.Recorder.Snapshot() != nil) {
+				b.Fatal("recorder state does not match variant")
+			}
+		}
+	}
+	exhaustive := func(cfg search.Config) (int, error) {
+		res, err := search.Exhaustive(im, cfg)
+		return len(res.Minimal), err
+	}
+	incognito := func(cfg search.Config) (int, error) {
+		res, err := search.Incognito(im, cfg)
+		return len(res.Minimal), err
+	}
+	for _, v := range []struct {
+		name    string
+		observe bool
+	}{{"Off", false}, {"On", true}} {
+		v := v
+		b.Run(fmt.Sprintf("Exhaustive/%s", v.name), func(b *testing.B) { run(b, v.observe, exhaustive) })
+		b.Run(fmt.Sprintf("Incognito/%s", v.name), func(b *testing.B) { run(b, v.observe, incognito) })
 	}
 }

@@ -23,6 +23,7 @@ func Attack(args []string, stdout, stderr io.Writer) error {
 		conf     = fs.String("conf", "", "comma-separated confidential attributes of the masked file")
 		verbose  = fs.Bool("leaks", false, "list each learned fact")
 	)
+	prof := registerProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -30,6 +31,11 @@ func Attack(args []string, stdout, stderr io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("-masked, -external and -qi are required")
 	}
+	stopProf, err := prof.start(stderr)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	mm, err := psk.ReadCSVFile(*masked, nil)
 	if err != nil {
 		return fmt.Errorf("masked file: %w", err)

@@ -80,6 +80,8 @@ func Anon(args []string, stdout, stderr io.Writer) error {
 		algorithm = fs.String("algorithm", "samarati", "search algorithm: samarati, bottomup, exhaustive")
 	)
 	pf := registerPolicyFlags(fs)
+	prof := registerProfileFlags(fs)
+	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,6 +89,15 @@ func Anon(args []string, stdout, stderr io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("-in and -job are required")
 	}
+	stopProf, err := prof.start(stderr)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+	if err := of.setup(); err != nil {
+		return err
+	}
+	defer of.close(stderr)
 
 	job, err := config.Load(*jobPath)
 	if err != nil {
@@ -116,6 +127,8 @@ func Anon(args []string, stdout, stderr io.Writer) error {
 		K:                job.K,
 		P:                job.P,
 		MaxSuppress:      job.MaxSuppress,
+		Recorder:         of.rec,
+		Tracer:           of.tracer,
 	}
 	pol, err := pf.compose(job.Confidential, job.P, job.K)
 	if err != nil {
@@ -135,6 +148,9 @@ func Anon(args []string, stdout, stderr io.Writer) error {
 
 	res, err := psk.Anonymize(data, cfg)
 	if err != nil {
+		return err
+	}
+	if err := of.report(res.Report, stderr); err != nil {
 		return err
 	}
 	if !res.Found {
@@ -182,6 +198,8 @@ func Check(args []string, stdout, stderr io.Writer) error {
 		verb = fs.Bool("violations", false, "list each violating QI-group")
 	)
 	pf := registerPolicyFlags(fs)
+	prof := registerProfileFlags(fs)
+	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -189,6 +207,15 @@ func Check(args []string, stdout, stderr io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("-in is required")
 	}
+	stopProf, err := prof.start(stderr)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+	if err := of.setup(); err != nil {
+		return err
+	}
+	defer of.close(stderr)
 	data, err := psk.ReadCSVFile(*in, nil)
 	if err != nil {
 		return err
@@ -287,18 +314,30 @@ func Check(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if pol == nil && of.active() {
+		// No policy flags, but telemetry was requested: time the
+		// built-in target so -stats/-metrics-json report a per-policy
+		// row instead of an empty recorder. The printed verdicts above
+		// are untouched.
+		if _, err := psk.EvaluatePolicy(data, qis, confs, psk.Instrument(psk.PSensitiveKAnonymity(*p, *k, confs), of.rec)); err != nil {
+			return err
+		}
+	}
 	if pol != nil {
-		verdict, err := psk.EvaluatePolicy(data, qis, confs, pol)
+		verdict, err := psk.EvaluatePolicy(data, qis, confs, psk.Instrument(pol, of.rec))
 		if err != nil {
 			return err
 		}
 		if !verdict.Satisfied {
 			fmt.Fprintf(stdout, "policy %s: VIOLATED (%s, QI-group #%d)\n", pol.Name(), verdict.Reason, verdict.Group)
+			if rerr := of.report(nil, stderr); rerr != nil {
+				return rerr
+			}
 			return fmt.Errorf("policy %s violated: %s", pol.Name(), verdict.Reason)
 		}
 		fmt.Fprintf(stdout, "policy %s: satisfied (%d QI-groups)\n", pol.Name(), verdict.Groups)
 	}
-	return nil
+	return of.report(nil, stderr)
 }
 
 // Gen implements adultgen: emit synthetic Adult microdata.
@@ -310,9 +349,15 @@ func Gen(args []string, stdout, stderr io.Writer) error {
 		seed = fs.Int64("seed", 2006, "generator seed")
 		out  = fs.String("out", "", "output CSV file (default: stdout)")
 	)
+	prof := registerProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.start(stderr)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	tbl, err := dataset.Generate(*n, *seed)
 	if err != nil {
 		return err

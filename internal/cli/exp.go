@@ -4,9 +4,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"os"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 
 	"psk/internal/dataset"
@@ -17,49 +14,34 @@ import (
 // ExpNames lists the experiment identifiers Exp accepts, in the order
 // "all" runs them.
 var ExpNames = []string{"attack", "table3", "figure1", "figure2", "figure3",
-	"table4", "example1", "table7", "table8", "ablation", "utility", "methods", "decay", "policy"}
+	"table4", "example1", "table7", "table8", "ablation", "utility", "methods", "decay", "policy",
+	"telemetry"}
 
 // Exp implements pskexp: regenerate the paper's tables and figures.
 func Exp(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("pskexp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp        = fs.String("exp", "all", "experiment to run (all, "+strings.Join(ExpNames, ", ")+")")
-		adult      = fs.String("adult", "", "path to a real UCI adult.data file (default: synthetic Adult)")
-		seed       = fs.Int64("seed", 17, "sample seed for the Adult experiments")
-		ts         = fs.Int("ts", 0, "suppression threshold for Table 8")
-		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		exp   = fs.String("exp", "all", "experiment to run (all, "+strings.Join(ExpNames, ", ")+")")
+		adult = fs.String("adult", "", "path to a real UCI adult.data file (default: synthetic Adult)")
+		seed  = fs.Int64("seed", 17, "sample seed for the Adult experiments")
+		ts    = fs.Int("ts", 0, "suppression threshold for Table 8")
 	)
+	prof := registerProfileFlags(fs)
+	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
-		}
-		defer pprof.StopCPUProfile()
+	stopProf, err := prof.start(stderr)
+	if err != nil {
+		return err
 	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintf(stderr, "memprofile: %v\n", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(stderr, "memprofile: %v\n", err)
-			}
-		}()
+	defer stopProf()
+	if err := of.setup(); err != nil {
+		return err
 	}
+	defer of.close(stderr)
 
 	var source *table.Table
 	if *adult != "" {
@@ -186,6 +168,23 @@ func Exp(args []string, stdout, stderr io.Writer) error {
 				return err
 			}
 			return emit("E16: composite-policy search", res.Format())
+		},
+		"telemetry": func() error {
+			res, err := experiments.RunTelemetry(1000, 3, 2, source, *seed, of.tracer)
+			if err != nil {
+				return err
+			}
+			if of.stats {
+				for _, row := range res.Rows {
+					fmt.Fprintf(stderr, "--- telemetry: %s ---\n%s", row.Strategy, row.Report.String())
+				}
+			}
+			if of.metricsJSON != "" {
+				if err := writeJSON(of.metricsJSON, res.Reports()); err != nil {
+					return err
+				}
+			}
+			return emit("E17: search telemetry", res.Format())
 		},
 	}
 

@@ -1,0 +1,107 @@
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"psk"
+)
+
+// obsFlags are the telemetry flags shared by pskanon, pskcheck and
+// pskexp: -stats prints the human-readable report to stderr,
+// -metrics-json writes the report (or the experiment's strategy map)
+// as JSON, and -trace streams one JSONL event per evaluated lattice
+// node to a file.
+type obsFlags struct {
+	stats       bool
+	trace       string
+	metricsJSON string
+
+	rec       *psk.Recorder
+	tracer    *psk.Tracer
+	traceFile *os.File
+}
+
+func registerObsFlags(fs *flag.FlagSet) *obsFlags {
+	of := &obsFlags{}
+	fs.BoolVar(&of.stats, "stats", false, "print a telemetry report (node verdicts, phase times, cache stats) to stderr")
+	fs.StringVar(&of.trace, "trace", "", "write a JSONL trace (one event per evaluated lattice node) to this file")
+	fs.StringVar(&of.metricsJSON, "metrics-json", "", "write the telemetry report as JSON to this file")
+	return of
+}
+
+func (of *obsFlags) active() bool {
+	return of.stats || of.trace != "" || of.metricsJSON != ""
+}
+
+// setup builds the recorder and tracer the flags request; the caller
+// must defer close. Both stay nil when no flag is active, keeping the
+// search on its zero-cost path.
+func (of *obsFlags) setup() error {
+	if !of.active() {
+		return nil
+	}
+	of.rec = psk.NewRecorder()
+	if of.trace != "" {
+		f, err := os.Create(of.trace)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		of.traceFile = f
+		of.tracer = psk.NewTracer(f)
+	}
+	return nil
+}
+
+// report emits the collected telemetry: the human block on -stats, the
+// JSON file on -metrics-json. Pass the search's own snapshot when one
+// exists (it was taken at search completion); a nil report falls back
+// to a fresh snapshot of the recorder.
+func (of *obsFlags) report(rep *psk.Report, stderr io.Writer) error {
+	if rep == nil {
+		rep = of.rec.Snapshot()
+	}
+	if rep == nil {
+		return nil
+	}
+	if of.stats {
+		fmt.Fprintf(stderr, "--- telemetry ---\n%s", rep.String())
+	}
+	if of.metricsJSON != "" {
+		return writeJSON(of.metricsJSON, rep)
+	}
+	return nil
+}
+
+// close flushes and closes the trace stream; call it after the search,
+// before reading the trace file.
+func (of *obsFlags) close(stderr io.Writer) {
+	if of.tracer != nil {
+		if err := of.tracer.Flush(); err != nil {
+			fmt.Fprintf(stderr, "trace: %v\n", err)
+		}
+	}
+	if of.traceFile != nil {
+		if err := of.traceFile.Close(); err != nil {
+			fmt.Fprintf(stderr, "trace: %v\n", err)
+		}
+		of.traceFile = nil
+	}
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics-json: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics-json: %w", err)
+	}
+	return f.Close()
+}

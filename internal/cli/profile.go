@@ -1,0 +1,81 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profileFlags are the pprof flags every subcommand registers: a CPU
+// profile covering the run, a heap profile written on exit, and a
+// goroutine-blocking profile (useful for the parallel engine's barrier
+// and roll-up waits) written on exit.
+type profileFlags struct {
+	cpu, mem, block string
+}
+
+func registerProfileFlags(fs *flag.FlagSet) *profileFlags {
+	pf := &profileFlags{}
+	fs.StringVar(&pf.cpu, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&pf.mem, "memprofile", "", "write a pprof heap profile to this file on exit")
+	fs.StringVar(&pf.block, "blockprofile", "", "write a pprof blocking profile to this file on exit")
+	return pf
+}
+
+// start begins the requested profiles and returns the stop function the
+// caller must defer; exit-time profile write failures are reported to
+// stderr rather than overriding the command's own error.
+func (pf *profileFlags) start(stderr io.Writer) (stop func(), err error) {
+	var stops []func()
+	if pf.cpu != "" {
+		f, err := os.Create(pf.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if pf.block != "" {
+		runtime.SetBlockProfileRate(1)
+		path := pf.block
+		stops = append(stops, func() {
+			runtime.SetBlockProfileRate(0)
+			writeProfile(path, "block", stderr)
+		})
+	}
+	if pf.mem != "" {
+		path := pf.mem
+		stops = append(stops, func() {
+			runtime.GC()
+			writeProfile(path, "heap", stderr)
+		})
+	}
+	return func() {
+		// Unwind in reverse registration order, CPU profile last-in
+		// first-out with the others.
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}, nil
+}
+
+func writeProfile(path, name string, stderr io.Writer) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "%sprofile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(stderr, "%sprofile: %v\n", name, err)
+	}
+}

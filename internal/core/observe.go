@@ -1,0 +1,52 @@
+package core
+
+import "psk/internal/obs"
+
+// Observe instruments a policy tree with per-policy telemetry: every
+// leaf policy reports its evaluation count, satisfaction count and
+// wall time to rec under its own name. Compositions are rebuilt around
+// instrumented members — a conjunction's members are wrapped
+// individually (so a report shows where a composite spends its time),
+// and WithBounds keeps its rejection filters outside the timer (the
+// engine already accounts pruned nodes by verdict; timing them as
+// policy work would double-count microseconds that never reached the
+// inner policy). A nil recorder returns p unchanged, keeping the
+// disabled path free of wrapper indirection.
+func Observe(p Policy, rec *obs.Recorder) Policy {
+	if rec == nil || p == nil {
+		return p
+	}
+	switch t := p.(type) {
+	case conjunction:
+		out := make(conjunction, len(t))
+		for i, member := range t {
+			out[i] = Observe(member, rec)
+		}
+		return out
+	case boundedPolicy:
+		return boundedPolicy{inner: Observe(t.inner, rec), bounds: t.bounds}
+	case observedPolicy:
+		return observedPolicy{inner: t.inner, name: t.name, rec: rec}
+	default:
+		return observedPolicy{inner: p, name: p.Name(), rec: rec}
+	}
+}
+
+// observedPolicy times one leaf policy. The name is captured at wrap
+// time: Name() renders fresh strings per call, and the hot path should
+// not.
+type observedPolicy struct {
+	inner Policy
+	name  string
+	rec   *obs.Recorder
+}
+
+func (p observedPolicy) Name() string        { return p.inner.Name() }
+func (p observedPolicy) ConfAttrs() []string { return p.inner.ConfAttrs() }
+
+func (p observedPolicy) Evaluate(v StatsView) (Result, error) {
+	start := p.rec.Start()
+	res, err := p.inner.Evaluate(v)
+	p.rec.PolicyEval(p.name, start, err == nil && res.Satisfied)
+	return res, err
+}

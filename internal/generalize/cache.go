@@ -3,8 +3,10 @@ package generalize
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"psk/internal/lattice"
+	"psk/internal/obs"
 	"psk/internal/table"
 )
 
@@ -26,6 +28,11 @@ type Cache struct {
 	mu      sync.Mutex
 	entries map[colKey]*colEntry
 	maps    map[mapKey]*mapEntry
+
+	// rec is the telemetry sink, if any. An atomic pointer because
+	// Incognito shares one cache across sub-searches that may attach a
+	// recorder while workers from an earlier phase still read it.
+	rec atomic.Pointer[obs.Recorder]
 }
 
 type colKey struct {
@@ -60,6 +67,16 @@ func (m *Masker) NewCache(src *table.Table) *Cache {
 // Source returns the table the cache generalizes.
 func (c *Cache) Source() *table.Table { return c.src }
 
+// Observe attaches a telemetry recorder; hits, misses and built-column
+// bytes are reported to it from then on. A nil recorder detaches.
+func (c *Cache) Observe(rec *obs.Recorder) {
+	c.rec.Store(rec)
+}
+
+// recorder returns the attached recorder (nil when telemetry is off;
+// obs methods are nil-safe so callers don't guard).
+func (c *Cache) recorder() *obs.Recorder { return c.rec.Load() }
+
 // Column returns the source column for attr generalized to the given
 // hierarchy level, computing and memoizing it on first use.
 func (c *Cache) Column(attr string, level int) (table.Column, error) {
@@ -83,6 +100,19 @@ func (c *Cache) Column(attr string, level int) (table.Column, error) {
 			e.err = fmt.Errorf("generalize: cache %s level %d: %w", attr, level, e.err)
 		}
 	})
+	if rec := c.recorder(); rec != nil {
+		// The goroutine that inserted the entry reports the miss (and
+		// the built column's size); every later access is a hit.
+		if ok {
+			rec.CacheColumn(true, 0)
+		} else {
+			var bytes int64
+			if e.col != nil {
+				bytes = table.MemBytes(e.col)
+			}
+			rec.CacheColumn(false, bytes)
+		}
+	}
 	return e.col, e.err
 }
 
@@ -120,6 +150,7 @@ func (c *Cache) LevelMap(attr string, from, to int) (*table.CodeMap, error) {
 		c.maps[mapKey{attr, from, to}] = e
 	}
 	c.mu.Unlock()
+	c.recorder().CacheLevelMap(ok)
 	e.once.Do(func() {
 		fromCol, err := c.levelColumn(attr, from)
 		if err != nil {

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// histBuckets is the fixed bucket count of every latency histogram:
+// bucket i holds samples with duration < histBase<<i nanoseconds, and
+// the last bucket is the overflow. With histBase = 1µs the covered
+// range is 1µs .. ~0.5s, which brackets node-evaluation latencies from
+// a six-node toy lattice to a full Adult scan.
+const (
+	histBuckets = 20
+	histBase    = int64(1000) // 1µs in ns
+)
+
+// histogram is a fixed-bucket latency histogram with lock-free
+// observation; exact sum/count/max ride along so averages and the true
+// maximum don't suffer bucket quantization.
+type histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+func (h *histogram) observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketFor(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(ns int64) int {
+	bound := histBase
+	for i := 0; i < histBuckets-1; i++ {
+		if ns < bound {
+			return i
+		}
+		bound <<= 1
+	}
+	return histBuckets - 1
+}
+
+// HistSnapshot is the immutable view of a histogram.
+type HistSnapshot struct {
+	// Buckets[i] counts samples below UpperNs(i); the last bucket is
+	// the overflow.
+	Buckets [histBuckets]int64 `json:"buckets"`
+	Count   int64              `json:"count"`
+	SumNs   int64              `json:"sum_ns"`
+	MaxNs   int64              `json:"max_ns"`
+}
+
+func (h *histogram) snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNs = h.sum.Load()
+	s.MaxNs = h.max.Load()
+	return s
+}
+
+// UpperNs returns bucket i's exclusive upper bound in nanoseconds
+// (the overflow bucket reports the histogram's true maximum).
+func (s HistSnapshot) UpperNs(i int) int64 {
+	if i >= histBuckets-1 {
+		return s.MaxNs
+	}
+	return histBase << i
+}
+
+// MeanNs returns the exact mean sample, 0 when empty.
+func (s HistSnapshot) MeanNs() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.SumNs / s.Count
+}
+
+// QuantileNs estimates the q-quantile (0 < q <= 1) from the buckets:
+// the upper bound of the bucket holding the q*Count-th sample. Bucket
+// granularity makes it an upper estimate, good to a factor of two.
+func (s HistSnapshot) QuantileNs(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	seen := int64(0)
+	for i := 0; i < histBuckets; i++ {
+		seen += s.Buckets[i]
+		if seen >= target {
+			return s.UpperNs(i)
+		}
+	}
+	return s.MaxNs
+}
+
+// fmtNs renders a nanosecond quantity human-readably (report tables).
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,311 @@
+// Package obs is the telemetry layer of the lattice-search stack: a
+// zero-dependency (stdlib-only) collection of atomic counters, gauges,
+// fixed-bucket latency histograms and phase timers behind a nil-safe
+// *Recorder, plus a JSONL span tracer (Tracer) that streams one event
+// per lattice-node evaluation for offline analysis.
+//
+// The design constraint is that instrumented hot paths must cost
+// nothing when telemetry is off. Every Recorder method is defined on
+// the pointer receiver and starts with an inlineable nil check, so the
+// disabled configuration — a nil *Recorder threaded through
+// search.Config — compiles down to a compare-and-branch per call site:
+// no time.Now(), no atomics, no allocation (BenchmarkObsOverhead pins
+// the <2% budget). When a Recorder is attached, all mutation is either
+// a single atomic add or (for the per-policy table, keyed by name) a
+// short mutex-guarded map update, so one Recorder is safe for the
+// engine's whole worker pool.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Verdict classifies the outcome of one lattice-node evaluation, the
+// unit of work Algorithm 3 performs. The prune verdicts mirror the
+// paper's two necessary conditions; OverBudget is the suppression-
+// threshold gate that rejects a node before any policy scan.
+type Verdict uint8
+
+// Node-evaluation outcomes.
+const (
+	// VerdictSatisfied: the node's masked microdata satisfies the
+	// target policy.
+	VerdictSatisfied Verdict = iota
+	// VerdictViolated: the policy ran a detailed group scan and found a
+	// violating group.
+	VerdictViolated
+	// VerdictPrunedCondition1: rejected by necessary condition 1
+	// (p > maxP) before any group scan.
+	VerdictPrunedCondition1
+	// VerdictPrunedCondition2: rejected by the group-count bound of
+	// necessary condition 2 before any group scan.
+	VerdictPrunedCondition2
+	// VerdictOverBudget: the node needs more suppression than the
+	// threshold TS admits; no policy evaluation happened.
+	VerdictOverBudget
+	// VerdictError: the evaluation failed with an error.
+	VerdictError
+
+	numVerdicts
+)
+
+// String names the verdict for traces and reports.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictSatisfied:
+		return "satisfied"
+	case VerdictViolated:
+		return "violated"
+	case VerdictPrunedCondition1:
+		return "pruned-condition1"
+	case VerdictPrunedCondition2:
+		return "pruned-condition2"
+	case VerdictOverBudget:
+		return "over-budget"
+	case VerdictError:
+		return "error"
+	default:
+		return "unknown"
+	}
+}
+
+// Phase identifies one timed stage of the search pipeline. Phase wall
+// times answer "where did the search spend its time" the way the
+// paper's complexity discussion slices Algorithm 3: the one base
+// group-by row scan, the per-node statistic roll-ups, the suppression
+// replay, the policy group scan, and the column work of building
+// masked tables.
+type Phase uint8
+
+// Pipeline phases.
+const (
+	// PhaseGroupBy is the base group-by: a full row scan building group
+	// statistics (at most once per search with the roll-up store on).
+	PhaseGroupBy Phase = iota
+	// PhaseRollup is the statistics merge deriving a node's groups from
+	// an already-evaluated descendant's (plus the level-map assembly).
+	PhaseRollup
+	// PhaseSuppress is the suppression step: counting violating tuples
+	// against the budget and removing sub-k groups (on rows or on
+	// statistics).
+	PhaseSuppress
+	// PhasePolicy is the policy verdict: the detailed group scan of
+	// Algorithm 1/2 or any composed policy.
+	PhasePolicy
+	// PhaseGeneralize is per-node column work on the row path:
+	// assembling the generalized table from cached columns.
+	PhaseGeneralize
+	// PhaseMaterialize is the masked-table build for a node the
+	// statistics already proved satisfying.
+	PhaseMaterialize
+
+	numPhases
+)
+
+// String names the phase for reports.
+func (p Phase) String() string {
+	switch p {
+	case PhaseGroupBy:
+		return "base-group-by"
+	case PhaseRollup:
+		return "rollup"
+	case PhaseSuppress:
+		return "suppress"
+	case PhasePolicy:
+		return "policy-scan"
+	case PhaseGeneralize:
+		return "generalize"
+	case PhaseMaterialize:
+		return "materialize"
+	default:
+		return "unknown"
+	}
+}
+
+// maxWorkers bounds the per-worker utilization table; worker ids wrap
+// beyond it (the engine clamps pools to GOMAXPROCS-sized counts, far
+// below this).
+const maxWorkers = 64
+
+// Recorder aggregates telemetry for one or more searches. The zero
+// value is NOT ready; build one with NewRecorder. A nil *Recorder is
+// the disabled implementation: every method no-ops (and Start avoids
+// the clock read entirely), so callers thread nil through instrumented
+// paths without guards.
+type Recorder struct {
+	verdicts [numVerdicts]atomic.Int64
+	nodeLat  histogram
+
+	phaseNs    [numPhases]atomic.Int64
+	phaseCount [numPhases]atomic.Int64
+
+	colHits, colMisses, colBytes atomic.Int64
+	mapHits, mapMisses           atomic.Int64
+
+	rollupMerges, rollupReuses, rollupScans atomic.Int64
+
+	suppressedRows atomic.Int64
+	poolSize       atomic.Int64
+	workerNs       [maxWorkers]atomic.Int64
+
+	mu       sync.Mutex
+	policies map[string]*policyAgg
+}
+
+type policyAgg struct {
+	count, satisfied, ns int64
+}
+
+// NewRecorder returns an enabled, empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{policies: make(map[string]*policyAgg)}
+}
+
+// Enabled reports whether telemetry is being collected (r non-nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Start returns the current time when recording is enabled and the
+// zero time otherwise — the disabled path never touches the clock.
+// Pair it with PhaseEnd / Since.
+func (r *Recorder) Start() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// PhaseEnd records one completed phase span started at start (a Start
+// result).
+func (r *Recorder) PhaseEnd(p Phase, start time.Time) {
+	if r == nil {
+		return
+	}
+	r.phaseNs[p].Add(time.Since(start).Nanoseconds())
+	r.phaseCount[p].Add(1)
+}
+
+// NodeEvaluated records one lattice-node evaluation: its verdict
+// counter and its latency histogram sample.
+func (r *Recorder) NodeEvaluated(v Verdict, d time.Duration) {
+	if r == nil {
+		return
+	}
+	if v >= numVerdicts {
+		v = VerdictError
+	}
+	r.verdicts[v].Add(1)
+	r.nodeLat.observe(d.Nanoseconds())
+}
+
+// WorkerBusy attributes evaluation time to one worker of the engine's
+// pool (the serial path is worker 0).
+func (r *Recorder) WorkerBusy(id int, d time.Duration) {
+	if r == nil {
+		return
+	}
+	if id < 0 {
+		id = 0
+	}
+	r.workerNs[id%maxWorkers].Add(d.Nanoseconds())
+}
+
+// SetPoolSize records the evaluation pool width (a gauge; the maximum
+// observed value wins, so nested subset searches don't shrink it).
+func (r *Recorder) SetPoolSize(n int) {
+	if r == nil {
+		return
+	}
+	for {
+		cur := r.poolSize.Load()
+		if int64(n) <= cur || r.poolSize.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// CacheColumn records one generalized-column cache access: a hit
+// (entry already present) or a miss, with the freshly built column's
+// estimated size in bytes (0 on hits).
+func (r *Recorder) CacheColumn(hit bool, bytes int64) {
+	if r == nil {
+		return
+	}
+	if hit {
+		r.colHits.Add(1)
+		return
+	}
+	r.colMisses.Add(1)
+	r.colBytes.Add(bytes)
+}
+
+// CacheLevelMap records one level-map cache access (the code
+// translations the roll-up layer moves group keys with).
+func (r *Recorder) CacheLevelMap(hit bool) {
+	if r == nil {
+		return
+	}
+	if hit {
+		r.mapHits.Add(1)
+	} else {
+		r.mapMisses.Add(1)
+	}
+}
+
+// RollupMerge records a node whose statistics were derived by merging
+// a descendant's groups instead of scanning rows.
+func (r *Recorder) RollupMerge() {
+	if r == nil {
+		return
+	}
+	r.rollupMerges.Add(1)
+}
+
+// RollupReuse records a node whose statistics were already in the
+// roll-up store (computed by or for another evaluation).
+func (r *Recorder) RollupReuse() {
+	if r == nil {
+		return
+	}
+	r.rollupReuses.Add(1)
+}
+
+// RollupRowScan records a node whose statistics fell back to a full
+// row scan (the lattice bottom, or a non-nested hierarchy).
+func (r *Recorder) RollupRowScan() {
+	if r == nil {
+		return
+	}
+	r.rollupScans.Add(1)
+}
+
+// AddSuppressedRows accumulates tuples removed by suppression at
+// evaluated nodes that passed the budget gate.
+func (r *Recorder) AddSuppressedRows(n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.suppressedRows.Add(n)
+}
+
+// PolicyEval records one policy evaluation (by policy name) started at
+// start: its latency and whether the policy was satisfied.
+func (r *Recorder) PolicyEval(name string, start time.Time, satisfied bool) {
+	if r == nil {
+		return
+	}
+	d := time.Since(start).Nanoseconds()
+	r.mu.Lock()
+	agg := r.policies[name]
+	if agg == nil {
+		agg = &policyAgg{}
+		r.policies[name] = agg
+	}
+	agg.count++
+	agg.ns += d
+	if satisfied {
+		agg.satisfied++
+	}
+	r.mu.Unlock()
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Event is one JSONL trace record: a single lattice-node evaluation.
+// The schema is stable (DESIGN.md section 11): one object per line,
+// unknown fields must be ignored by consumers.
+type Event struct {
+	// Node is the lattice node's level vector, in QI order.
+	Node []int `json:"node"`
+	// Height is the node's lattice height (the level sum).
+	Height int `json:"height"`
+	// Verdict is the evaluation outcome (Verdict.String()).
+	Verdict string `json:"verdict"`
+	// DurationNs is the evaluation's wall time in nanoseconds.
+	DurationNs int64 `json:"duration_ns"`
+	// Worker is the engine worker that ran the evaluation (0 on the
+	// serial path).
+	Worker int `json:"worker"`
+}
+
+// Tracer streams one Event per lattice-node evaluation to an
+// io.Writer as JSON Lines. A nil *Tracer is the disabled
+// implementation (Emit no-ops), mirroring the Recorder convention.
+// Emission is serialized by a mutex — tracing is an offline-analysis
+// tool, not a hot-path default — and buffered; call Flush (or Close)
+// before reading the output.
+type Tracer struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	err    error
+	events atomic.Int64
+}
+
+// NewTracer wraps w in a buffered JSONL event stream.
+func NewTracer(w io.Writer) *Tracer {
+	bw := bufio.NewWriter(w)
+	return &Tracer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit writes one event (one line). The first write error is retained
+// and reported by Flush; later events are dropped.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.err == nil {
+		t.err = t.enc.Encode(ev)
+	}
+	t.mu.Unlock()
+	t.events.Add(1)
+}
+
+// Events returns how many events were emitted (including any dropped
+// by a write error).
+func (t *Tracer) Events() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.events.Load()
+}
+
+// Flush drains the buffer and returns the first error seen on the
+// stream, if any.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// ReadEvents parses a JSONL trace back into events — the offline half
+// of the tracer, used by tests and the telemetry experiment to verify
+// a trace file matches the reported counters.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, ev)
+	}
+}

@@ -33,6 +33,7 @@ func AllMinimal(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 	}
 	if cfg.Policy == nil && cfg.UseConditions && cfg.P >= 2 && !bounds.Feasible() {
 		res.Stats.PrunedCondition1 = 1
+		res.Report = cfg.Recorder.Snapshot()
 		return res, nil
 	}
 
@@ -74,6 +75,7 @@ func AllMinimal(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 			}
 		}
 	}
+	res.Report = cfg.Recorder.Snapshot()
 	return res, nil
 }
 

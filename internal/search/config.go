@@ -15,6 +15,7 @@ import (
 	"psk/internal/generalize"
 	"psk/internal/hierarchy"
 	"psk/internal/lattice"
+	"psk/internal/obs"
 	"psk/internal/table"
 )
 
@@ -73,6 +74,17 @@ type Config struct {
 	// restores PR 1's per-node row scan. Results are identical either
 	// way; the flag exists for the BenchmarkRollup ablation.
 	DisableRollup bool
+	// Recorder, when non-nil, collects telemetry for the search: per-node
+	// verdicts and latencies, phase wall times, cache and roll-up
+	// counters, per-policy evaluation stats and worker utilization. The
+	// strategies snapshot it into Result.Report when they finish. Nil
+	// (the default) disables collection at zero cost — every recording
+	// site is a nil check. Telemetry never changes search results.
+	Recorder *obs.Recorder
+	// Tracer, when non-nil, streams one JSONL event per lattice-node
+	// evaluation (node vector, height, verdict, duration, worker).
+	// Independent of Recorder; nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // DefaultWorkers returns the recommended Config.Workers value: the
@@ -176,17 +188,25 @@ type Stats struct {
 	PrunedCondition2 int
 	// GroupScans counts full detailed p-sensitivity scans.
 	GroupScans int
+	// SuppressedRows totals the tuples suppression removed at evaluated
+	// nodes that passed the budget gate (nodes rejected for exceeding
+	// MaxSuppress contribute nothing). Identical across the cached,
+	// ablation and statistics evaluation paths.
+	SuppressedRows int
 }
 
-// add accumulates another stats delta. The parallel engine gives every
-// node evaluation its own Stats and merges the deltas in deterministic
-// node order, which keeps totals race-free and identical to the serial
-// scan at any worker count.
-func (s *Stats) add(o Stats) {
+// Merge accumulates another stats delta. The parallel engine gives
+// every node evaluation its own Stats and merges the deltas in
+// deterministic node order, which keeps totals race-free and identical
+// to the serial scan at any worker count. Exported so callers that run
+// several searches (experiment sweeps, the Incognito subset phases) can
+// total their work the same way.
+func (s *Stats) Merge(o Stats) {
 	s.NodesEvaluated += o.NodesEvaluated
 	s.PrunedCondition1 += o.PrunedCondition1
 	s.PrunedCondition2 += o.PrunedCondition2
 	s.GroupScans += o.GroupScans
+	s.SuppressedRows += o.SuppressedRows
 }
 
 // Result is the outcome of a single-solution search.
@@ -203,5 +223,8 @@ type Result struct {
 	Suppressed int
 	// Stats describes the work performed.
 	Stats Stats
+	// Report is the telemetry snapshot taken when the search finished;
+	// nil unless Config.Recorder was set.
+	Report *obs.Report
 }
 

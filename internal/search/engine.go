@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"psk/internal/core"
 	"psk/internal/generalize"
 	"psk/internal/lattice"
+	"psk/internal/obs"
 	"psk/internal/table"
 )
 
@@ -48,6 +50,11 @@ type evaluator struct {
 	// outcome.masked (Incognito's non-final subsets only consume the
 	// verdict), so satisfying nodes skip building the masked table.
 	noMaterialize bool
+	// rec and tracer are the telemetry sinks (Config.Recorder/Tracer);
+	// both are nil-safe, so the hot path calls them unguarded and the
+	// disabled configuration costs one compare per call site.
+	rec    *obs.Recorder
+	tracer *obs.Tracer
 }
 
 // newEvaluator builds the engine for one search. m's quasi-identifiers
@@ -60,7 +67,12 @@ func newEvaluator(im *table.Table, m *generalize.Masker, cache *generalize.Cache
 	}
 	e := &evaluator{
 		im: im, m: m, cache: cache, qis: cfg.QIs, cfg: cfg, bounds: bounds,
-		policy: cfg.effectivePolicy(bounds), conf: cfg.effectiveConf(),
+		policy: core.Observe(cfg.effectivePolicy(bounds), cfg.Recorder),
+		conf:   cfg.effectiveConf(),
+		rec:    cfg.Recorder, tracer: cfg.Tracer,
+	}
+	if cache != nil {
+		cache.Observe(cfg.Recorder)
 	}
 	if cache != nil && !cfg.DisableRollup {
 		e.rollups = newRollupStore()
@@ -93,11 +105,13 @@ func (e *evaluator) evalNode(node lattice.Node) outcome {
 
 	var g *table.Table
 	var err error
+	genStart := e.rec.Start()
 	if e.cache != nil {
 		g, err = e.cache.ApplyQIs(e.qis, node)
 	} else {
 		g, err = e.m.Apply(e.im, node)
 	}
+	e.rec.PhaseEnd(obs.PhaseGeneralize, genStart)
 	if err != nil {
 		o.err = err
 		return o
@@ -108,9 +122,11 @@ func (e *evaluator) evalNode(node lattice.Node) outcome {
 	// Suppression step: count violators, enforce the threshold, remove.
 	var mm *table.Table
 	var suppressed int
+	supStart := e.rec.Start()
 	if e.cache != nil {
 		var within bool
 		mm, suppressed, within, err = e.m.SuppressWithin(g, e.cfg.K, e.cfg.MaxSuppress)
+		e.rec.PhaseEnd(obs.PhaseSuppress, supStart)
 		if err != nil {
 			o.err = err
 			return o
@@ -122,28 +138,36 @@ func (e *evaluator) evalNode(node lattice.Node) outcome {
 		// Pre-engine two-pass path, kept for the cache ablation.
 		violating, verr := e.m.ViolatingTuples(g, e.cfg.K)
 		if verr != nil {
+			e.rec.PhaseEnd(obs.PhaseSuppress, supStart)
 			o.err = verr
 			return o
 		}
 		if violating > e.cfg.MaxSuppress {
+			e.rec.PhaseEnd(obs.PhaseSuppress, supStart)
 			return o
 		}
 		mm, suppressed, err = e.m.Suppress(g, e.cfg.K)
+		e.rec.PhaseEnd(obs.PhaseSuppress, supStart)
 		if err != nil {
 			o.err = err
 			return o
 		}
 	}
+	o.stats.SuppressedRows += suppressed
 	// Note: when the budget admits suppressing every tuple, the empty
 	// release vacuously satisfies the property; the paper's Table 4
 	// relies on this (TS = 10 makes the bottom node 3-minimal).
 
+	gbStart := e.rec.Start()
 	ps, err := mm.GroupStats(e.qis, e.conf, 1)
+	e.rec.PhaseEnd(obs.PhaseGroupBy, gbStart)
 	if err != nil {
 		o.err = err
 		return o
 	}
+	polStart := e.rec.Start()
 	res, err := e.policy.Evaluate(core.StatsView{Stats: ps, Conf: e.conf})
+	e.rec.PhaseEnd(obs.PhasePolicy, polStart)
 	if err != nil {
 		o.err = err
 		return o
@@ -194,11 +218,15 @@ func (e *evaluator) evalNodeStats(node lattice.Node) outcome {
 	// Suppression step on the statistics: SuppressWithin's verdict is
 	// "violating tuples <= budget", and its removal drops exactly the
 	// sub-k groups.
+	supStart := e.rec.Start()
 	violating := s.TuplesBelow(e.cfg.K)
 	if violating > e.cfg.MaxSuppress {
+		e.rec.PhaseEnd(obs.PhaseSuppress, supStart)
 		return o
 	}
 	post := s.SuppressBelow(e.cfg.K)
+	e.rec.PhaseEnd(obs.PhaseSuppress, supStart)
+	o.stats.SuppressedRows += violating
 	accept := func() {
 		if e.noMaterialize {
 			o.ok, o.suppressed = true, violating
@@ -207,7 +235,9 @@ func (e *evaluator) evalNodeStats(node lattice.Node) outcome {
 		e.materialize(node, &o)
 	}
 
+	polStart := e.rec.Start()
 	res, err := e.policy.Evaluate(core.StatsView{Stats: post, Conf: e.conf})
+	e.rec.PhaseEnd(obs.PhasePolicy, polStart)
 	if err != nil {
 		o.err = err
 		return o
@@ -221,6 +251,7 @@ func (e *evaluator) evalNodeStats(node lattice.Node) outcome {
 // materialize builds the masked table for a node the statistics proved
 // satisfying, through the same pipeline the direct path runs.
 func (e *evaluator) materialize(node lattice.Node, o *outcome) {
+	defer e.rec.PhaseEnd(obs.PhaseMaterialize, e.rec.Start())
 	g, err := e.cache.ApplyQIs(e.qis, node)
 	if err != nil {
 		o.err = err
@@ -240,6 +271,58 @@ func (e *evaluator) materialize(node lattice.Node, o *outcome) {
 	o.ok, o.masked, o.suppressed = true, mm, suppressed
 }
 
+// evalTimed wraps evalNode with the per-node telemetry: one verdict +
+// latency sample on the recorder, busy time on the worker's row, and
+// one trace event. Nodes that error before counting as evaluated (an
+// apply failure) produce neither, keeping the trace event count equal
+// to Stats.NodesEvaluated. With both sinks nil the wrapper is a tail
+// call — no clock reads.
+func (e *evaluator) evalTimed(node lattice.Node, worker int) outcome {
+	if e.rec == nil && e.tracer == nil {
+		return e.evalNode(node)
+	}
+	start := time.Now()
+	o := e.evalNode(node)
+	d := time.Since(start)
+	if o.stats.NodesEvaluated == 0 {
+		return o
+	}
+	v := nodeVerdict(o)
+	e.rec.NodeEvaluated(v, d)
+	e.rec.WorkerBusy(worker, d)
+	e.rec.AddSuppressedRows(int64(o.stats.SuppressedRows))
+	if e.tracer != nil {
+		e.tracer.Emit(obs.Event{
+			Node:       append([]int(nil), node...),
+			Height:     node.Height(),
+			Verdict:    v.String(),
+			DurationNs: d.Nanoseconds(),
+			Worker:     worker,
+		})
+	}
+	return o
+}
+
+// nodeVerdict classifies an outcome from its stats delta: each
+// evaluated node increments exactly one of the prune/scan counters, so
+// the delta plus the ok/err flags fully determine the verdict.
+func nodeVerdict(o outcome) obs.Verdict {
+	switch {
+	case o.err != nil:
+		return obs.VerdictError
+	case o.ok:
+		return obs.VerdictSatisfied
+	case o.stats.PrunedCondition1 > 0:
+		return obs.VerdictPrunedCondition1
+	case o.stats.PrunedCondition2 > 0:
+		return obs.VerdictPrunedCondition2
+	case o.stats.GroupScans > 0:
+		return obs.VerdictViolated
+	default:
+		return obs.VerdictOverBudget
+	}
+}
+
 // run evaluates the nodes, serially or on the worker pool. With
 // cancelEarly, nodes ordered after an already-observed hit (or error)
 // are skipped: the reduction only ever consumes outcomes up to the
@@ -250,9 +333,10 @@ func (e *evaluator) run(nodes []lattice.Node, cancelEarly bool) []outcome {
 	n := len(nodes)
 	outs := make([]outcome, n)
 	w := e.cfg.workerCount(n)
+	e.rec.SetPoolSize(w)
 	if w <= 1 {
 		for i, node := range nodes {
-			outs[i] = e.evalNode(node)
+			outs[i] = e.evalTimed(node, 0)
 			if cancelEarly && (outs[i].ok || outs[i].err != nil) {
 				break
 			}
@@ -264,7 +348,7 @@ func (e *evaluator) run(nodes []lattice.Node, cancelEarly bool) []outcome {
 	var wg sync.WaitGroup
 	for g := 0; g < w; g++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
@@ -274,7 +358,7 @@ func (e *evaluator) run(nodes []lattice.Node, cancelEarly bool) []outcome {
 				if cancelEarly && int64(i) > atomic.LoadInt64(&barrier) {
 					continue
 				}
-				o := e.evalNode(nodes[i])
+				o := e.evalTimed(nodes[i], worker)
 				outs[i] = o
 				if cancelEarly && (o.ok || o.err != nil) {
 					for {
@@ -285,7 +369,7 @@ func (e *evaluator) run(nodes []lattice.Node, cancelEarly bool) []outcome {
 					}
 				}
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	return outs
@@ -303,7 +387,7 @@ func (e *evaluator) firstHit(nodes []lattice.Node, stats *Stats) (int, outcome, 
 		if !o.evaluated {
 			continue
 		}
-		stats.add(o.stats)
+		stats.Merge(o.stats)
 		if o.err != nil {
 			return -1, outcome{}, o.err
 		}
@@ -319,7 +403,7 @@ func (e *evaluator) firstHit(nodes []lattice.Node, stats *Stats) (int, outcome, 
 func (e *evaluator) evalAll(nodes []lattice.Node, stats *Stats) ([]outcome, error) {
 	outs := e.run(nodes, false)
 	for i := range outs {
-		stats.add(outs[i].stats)
+		stats.Merge(outs[i].stats)
 		if outs[i].err != nil {
 			return nil, outs[i].err
 		}

@@ -2,6 +2,7 @@ package search
 
 import (
 	"psk/internal/lattice"
+	"psk/internal/obs"
 	"psk/internal/table"
 )
 
@@ -22,6 +23,9 @@ type ExhaustiveResult struct {
 	Satisfying []lattice.Node
 	// Stats describes the work performed.
 	Stats Stats
+	// Report is the telemetry snapshot taken when the search finished;
+	// nil unless Config.Recorder was set.
+	Report *obs.Report
 }
 
 // Exhaustive evaluates every node of the generalization lattice and
@@ -43,6 +47,7 @@ func Exhaustive(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 	}
 	if cfg.Policy == nil && cfg.UseConditions && cfg.P >= 2 && !bounds.Feasible() {
 		res.Stats.PrunedCondition1 = 1
+		res.Report = cfg.Recorder.Snapshot()
 		return res, nil
 	}
 
@@ -67,5 +72,6 @@ func Exhaustive(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 			}
 		}
 	}
+	res.Report = cfg.Recorder.Snapshot()
 	return res, nil
 }

@@ -30,6 +30,7 @@ func BottomUp(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 	}
 	if cfg.Policy == nil && cfg.UseConditions && cfg.P >= 2 && !bounds.Feasible() {
 		res.Stats.PrunedCondition1 = 1
+		res.Report = cfg.Recorder.Snapshot()
 		return res, nil
 	}
 
@@ -52,9 +53,11 @@ func BottomUp(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 			for _, hit := range levelHits {
 				res.Satisfying = append(res.Satisfying, hit.Node)
 			}
+			res.Report = cfg.Recorder.Snapshot()
 			return res, nil
 		}
 	}
+	res.Report = cfg.Recorder.Snapshot()
 	return res, nil
 }
 

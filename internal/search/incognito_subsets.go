@@ -7,6 +7,7 @@ import (
 	"psk/internal/core"
 	"psk/internal/generalize"
 	"psk/internal/lattice"
+	"psk/internal/obs"
 	"psk/internal/table"
 )
 
@@ -21,6 +22,9 @@ type IncognitoResult struct {
 	PrunedBySubsets int
 	// SubsetsEvaluated is the number of QI subsets processed.
 	SubsetsEvaluated int
+	// Report is the telemetry snapshot taken when the search finished;
+	// nil unless Config.Recorder was set.
+	Report *obs.Report
 }
 
 // Incognito implements the subset-lattice search of LeFevre, DeWitt and
@@ -51,6 +55,7 @@ func Incognito(im *table.Table, cfg Config) (IncognitoResult, error) {
 	}
 	if cfg.Policy == nil && cfg.UseConditions && cfg.P >= 2 && !bounds.Feasible() {
 		res.Stats.PrunedCondition1 = 1
+		res.Report = cfg.Recorder.Snapshot()
 		return res, nil
 	}
 
@@ -98,7 +103,9 @@ func Incognito(im *table.Table, cfg Config) (IncognitoResult, error) {
 		if w < 1 {
 			w = 1
 		}
+		gbStart := cfg.Recorder.Start()
 		baseStats, err := im.GroupStats(qis, conf, w)
+		cfg.Recorder.PhaseEnd(obs.PhaseGroupBy, gbStart)
 		if err != nil {
 			return IncognitoResult{}, err
 		}
@@ -131,7 +138,9 @@ func Incognito(im *table.Table, cfg Config) (IncognitoResult, error) {
 					}
 					col++
 				}
+				projStart := cfg.Recorder.Start()
 				proj, err := parent.Project(keep)
+				cfg.Recorder.PhaseEnd(obs.PhaseRollup, projStart)
 				if err != nil {
 					return IncognitoResult{}, err
 				}
@@ -222,6 +231,7 @@ func Incognito(im *table.Table, cfg Config) (IncognitoResult, error) {
 			}
 		}
 	}
+	res.Report = cfg.Recorder.Snapshot()
 	return res, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"psk/internal/lattice"
+	"psk/internal/obs"
 	"psk/internal/table"
 )
 
@@ -126,6 +127,7 @@ func (e *evaluator) buildStats(node lattice.Node) (*table.GroupStats, error) {
 func (e *evaluator) statsFor(node lattice.Node) (*table.GroupStats, error) {
 	entry, created := e.rollups.acquire(node)
 	if !created {
+		e.rec.RollupReuse()
 		<-entry.done
 		return entry.stats, entry.err
 	}
@@ -144,14 +146,18 @@ func (e *evaluator) computeStats(node lattice.Node) (*table.GroupStats, error) {
 		}
 	}
 	if src != nil {
+		rollStart := e.rec.Start()
 		maps, err := e.levelMaps(src.node, node)
 		if err == nil {
 			rolled, rerr := src.stats.Rollup(maps)
 			if rerr == nil {
+				e.rec.PhaseEnd(obs.PhaseRollup, rollStart)
+				e.rec.RollupMerge()
 				return rolled, nil
 			}
 			err = rerr
 		}
+		e.rec.PhaseEnd(obs.PhaseRollup, rollStart)
 		// A roll-up can only fail when a hierarchy is not a nested
 		// refinement (level maps are then not functional). The direct
 		// scan still defines the node's statistics, so fall back rather
@@ -159,7 +165,11 @@ func (e *evaluator) computeStats(node lattice.Node) (*table.GroupStats, error) {
 		_ = err
 	}
 	e.rollups.rowScans.Add(1)
-	return e.buildStats(node)
+	e.rec.RollupRowScan()
+	scanStart := e.rec.Start()
+	stats, err := e.buildStats(node)
+	e.rec.PhaseEnd(obs.PhaseGroupBy, scanStart)
+	return stats, err
 }
 
 // levelMaps assembles the per-QI code translations from one node's

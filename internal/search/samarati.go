@@ -48,6 +48,7 @@ func Samarati(im *table.Table, cfg Config) (Result, error) {
 		// First necessary condition: no masked microdata derived from im
 		// can be p-sensitive. Checked before touching the lattice.
 		res.Stats.PrunedCondition1 = 1
+		res.Report = cfg.Recorder.Snapshot()
 		return res, nil
 	}
 
@@ -82,9 +83,11 @@ func Samarati(im *table.Table, cfg Config) (Result, error) {
 		}
 	}
 	if found == nil {
+		res.Report = cfg.Recorder.Snapshot()
 		return res, nil
 	}
 	found.Stats = res.Stats
+	found.Report = cfg.Recorder.Snapshot()
 	return *found, nil
 }
 

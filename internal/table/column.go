@@ -36,6 +36,23 @@ type codeRanger interface {
 	CodeRange() (lo, hi int, ok bool)
 }
 
+// memSizer is an optional Column capability: an estimate of the heap
+// bytes the column retains. Used by cache telemetry to attribute
+// memory to freshly built generalized columns.
+type memSizer interface {
+	memBytes() int64
+}
+
+// MemBytes estimates the heap memory held by a column: backing slices
+// plus dictionary storage, ignoring fixed struct overhead. Columns
+// without an estimate report 0.
+func MemBytes(c Column) int64 {
+	if s, ok := c.(memSizer); ok {
+		return s.memBytes()
+	}
+	return 0
+}
+
 // NewColumn returns an empty column of the given type.
 func NewColumn(t Type) Column {
 	switch t {
@@ -70,6 +87,16 @@ func (c *stringColumn) Code(i int) int { return int(c.codes[i]) }
 
 // Cardinality reports the number of distinct values ever appended.
 func (c *stringColumn) Cardinality() int { return len(c.dict) }
+
+func (c *stringColumn) memBytes() int64 {
+	n := int64(len(c.codes)) * 4
+	for _, s := range c.dict {
+		// string bytes + header, counted twice: once in dict, once as
+		// an index key.
+		n += 2 * (int64(len(s)) + 16)
+	}
+	return n
+}
 
 // CodeRange: dictionary codes are dense in [0, len(dict)).
 func (c *stringColumn) CodeRange() (int, int, bool) {
@@ -116,6 +143,8 @@ type intColumn struct {
 	rangeOnce sync.Once
 	lo, hi    int64
 }
+
+func (c *intColumn) memBytes() int64 { return int64(len(c.vals)) * 8 }
 
 func (c *intColumn) Type() Type        { return Int }
 func (c *intColumn) Len() int          { return len(c.vals) }
@@ -170,6 +199,8 @@ func (c *intColumn) Gather(rows []int) Column {
 type floatColumn struct {
 	vals []float64
 }
+
+func (c *floatColumn) memBytes() int64 { return int64(len(c.vals)) * 8 }
 
 func (c *floatColumn) Type() Type        { return Float }
 func (c *floatColumn) Len() int          { return len(c.vals) }

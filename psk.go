@@ -11,6 +11,7 @@ import (
 	"psk/internal/loss"
 	"psk/internal/mask"
 	"psk/internal/minisql"
+	"psk/internal/obs"
 	"psk/internal/risk"
 	"psk/internal/search"
 	"psk/internal/table"
@@ -183,6 +184,14 @@ type Config struct {
 	// serial path. Results are identical at every worker count.
 	// DefaultWorkers() returns the GOMAXPROCS-sized pool.
 	Workers int
+	// Recorder, when non-nil, collects search telemetry (node verdicts
+	// and latencies, phase wall times, cache and roll-up counters);
+	// Result.Report snapshots it when the search finishes. Telemetry
+	// never changes search results. See NewRecorder.
+	Recorder *Recorder
+	// Tracer, when non-nil, streams one JSONL event per evaluated
+	// lattice node. See NewTracer.
+	Tracer *Tracer
 }
 
 // DefaultWorkers returns the recommended Config.Workers value for
@@ -200,6 +209,8 @@ func (c Config) searchConfig() search.Config {
 		Policy:        c.Policy,
 		UseConditions: !c.DisableConditions,
 		Workers:       c.Workers,
+		Recorder:      c.Recorder,
+		Tracer:        c.Tracer,
 	}
 }
 
@@ -217,6 +228,9 @@ type Result struct {
 	// AllMinimal lists every minimal node when AlgorithmExhaustive or
 	// AlgorithmBottomUp was used.
 	AllMinimal []Node
+	// Report is the telemetry snapshot of the search; nil unless
+	// Config.Recorder was set.
+	Report *Report
 }
 
 // Anonymize searches the generalization lattice for a p-k-minimal
@@ -229,7 +243,7 @@ func Anonymize(im *Table, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Found: r.Found, Node: r.Node, Masked: r.Masked, Suppressed: r.Suppressed}, nil
+		return &Result{Found: r.Found, Node: r.Node, Masked: r.Masked, Suppressed: r.Suppressed, Report: r.Report}, nil
 	case AlgorithmBottomUp:
 		r, err := search.BottomUp(im, cfg.searchConfig())
 		if err != nil {
@@ -248,7 +262,7 @@ func Anonymize(im *Table, cfg Config) (*Result, error) {
 }
 
 func exhaustiveResult(r search.ExhaustiveResult) *Result {
-	out := &Result{}
+	out := &Result{Report: r.Report}
 	if len(r.Minimal) == 0 {
 		return out
 	}
@@ -465,7 +479,7 @@ func AnonymizeIncognito(im *Table, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{}
+	out := &Result{Report: r.Report}
 	if len(r.Minimal) == 0 {
 		return out, nil
 	}
@@ -627,3 +641,38 @@ func EvaluatePolicy(t *Table, qis, confidential []string, pol Policy) (Verdict, 
 	}
 	return pol.Evaluate(v)
 }
+
+// Telemetry re-exports. The obs layer is nil-safe throughout: a nil
+// *Recorder / *Tracer disables collection at the cost of one pointer
+// compare per instrumented call site, so production paths thread nil
+// without guards.
+type (
+	// Recorder aggregates search telemetry; attach one via
+	// Config.Recorder and read Result.Report (or Snapshot it directly).
+	Recorder = obs.Recorder
+	// Tracer streams one JSONL event per evaluated lattice node.
+	Tracer = obs.Tracer
+	// Report is an immutable telemetry snapshot; String() renders the
+	// block the -stats CLI flag prints, and it marshals to JSON as-is.
+	Report = obs.Report
+	// TraceEvent is one line of a JSONL search trace.
+	TraceEvent = obs.Event
+)
+
+// NewRecorder returns an enabled, empty telemetry recorder.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// NewTracer wraps w in a buffered JSONL node-evaluation trace; call
+// Flush when the search completes.
+func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// ReadTraceEvents parses a JSONL trace produced by a Tracer.
+func ReadTraceEvents(r io.Reader) ([]TraceEvent, error) { return obs.ReadEvents(r) }
+
+// Instrument wraps a policy tree so every leaf policy reports
+// per-evaluation telemetry to rec (see Report.Policies). The search
+// engine applies this automatically to Config.Policy when
+// Config.Recorder is set; use it directly when evaluating policies
+// outside a search (as pskcheck -stats does). A nil recorder returns
+// p unchanged.
+func Instrument(p Policy, rec *Recorder) Policy { return core.Observe(p, rec) }

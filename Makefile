@@ -6,7 +6,17 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json
+# Allowed fractional ns/op regression before bench-compare fails
+# (0.15 = +15%), and the per-target budget of the fuzz smoke run.
+BENCH_TOLERANCE ?= 0.15
+FUZZTIME ?= 30s
+
+# Statement-coverage ratchet for `make cover`: set just below the
+# measured total so coverage can only move up. Raise it when coverage
+# genuinely improves; never lower it to admit a regression.
+COVERAGE_FLOOR ?= 84.0
+
+.PHONY: check vet build test race bench bench-json bench-compare fuzz-smoke cover
 
 check: vet build race bench
 
@@ -40,3 +50,37 @@ bench-json:
 		| $(GO) run ./cmd/benchjson > BENCH_policy.json
 	$(GO) test -run '^$$' -bench '^BenchmarkObsOverhead$$' -benchmem -benchtime 10x . \
 		| $(GO) run ./cmd/benchjson > BENCH_obs.json
+	$(GO) test -run '^$$' -bench '^BenchmarkParallelSearch$$' -benchmem -benchtime 10x . \
+		| $(GO) run ./cmd/benchjson > BENCH_parallel.json
+
+# bench-compare reruns the gauntlet benchmarks and fails when any
+# regresses its committed BENCH_*.json ns/op by more than
+# BENCH_TOLERANCE — the CI bench-regression job runs exactly this, so
+# a search-path slowdown cannot merge silently. Refresh the baselines
+# with `make bench-json` when a change is *supposed* to move them.
+bench-compare:
+	$(GO) test -run '^$$' -bench '^BenchmarkParallelSearch$$' -benchmem -benchtime 10x . \
+		| $(GO) run ./cmd/benchjson -compare BENCH_parallel.json -tolerance $(BENCH_TOLERANCE)
+	$(GO) test -run '^$$' -bench '^BenchmarkPolicy$$' -benchmem -benchtime 10x . \
+		| $(GO) run ./cmd/benchjson -compare BENCH_policy.json -tolerance $(BENCH_TOLERANCE)
+	$(GO) test -run '^$$' -bench '^BenchmarkObsOverhead$$' -benchmem -benchtime 10x . \
+		| $(GO) run ./cmd/benchjson -compare BENCH_obs.json -tolerance $(BENCH_TOLERANCE)
+
+# fuzz-smoke gives each native fuzz target FUZZTIME of coverage-guided
+# input generation on top of its committed seed corpus: the loaders
+# (dataset, hierarchy) must never panic on hostile bytes, and the two
+# implementations of Definition 2 must agree on every generated table.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzLoadTable$$' -fuzztime $(FUZZTIME) ./internal/dataset
+	$(GO) test -run '^$$' -fuzz '^FuzzLoadHierarchy$$' -fuzztime $(FUZZTIME) ./internal/hierarchy
+	$(GO) test -run '^$$' -fuzz '^FuzzPolicyEval$$' -fuzztime $(FUZZTIME) ./internal/core
+
+# cover measures statement coverage across the module and fails below
+# COVERAGE_FLOOR. The profile is left in coverage.out for inspection
+# (`go tool cover -html=coverage.out`).
+cover:
+	$(GO) test -coverprofile=coverage.out -coverpkg=./... ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total statement coverage: $$total% (floor $(COVERAGE_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVERAGE_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% fell below the floor $(COVERAGE_FLOOR)%"; exit 1; }

@@ -1,9 +1,20 @@
 // Command benchjson converts `go test -bench -benchmem` output on
 // stdin into a JSON object mapping each benchmark to its ns/op and
 // allocs/op, for committing benchmark snapshots (see `make bench-json`).
+//
+// With -compare it instead judges the fresh output against a committed
+// snapshot and exits non-zero when any benchmark's ns/op regressed by
+// more than -tolerance (see `make bench-compare`), so CI can gate
+// merges on benchmark regressions.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./internal/search | benchjson > BENCH.json
+//	go test -bench . -benchmem ./internal/search | benchjson -compare BENCH.json -tolerance 0.15
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -11,7 +22,25 @@ import (
 )
 
 func main() {
-	if err := cli.BenchJSON(os.Stdin, os.Stdout); err != nil {
+	var (
+		compare   = flag.String("compare", "", "baseline BENCH json to compare against instead of emitting json")
+		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional ns/op regression in -compare mode (0.15 = +15%)")
+	)
+	flag.Parse()
+	if *compare == "" {
+		if err := cli.BenchJSON(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	base, err := os.Open(*compare)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	defer base.Close()
+	if err := cli.BenchCompare(os.Stdin, base, *tolerance, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

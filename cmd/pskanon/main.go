@@ -12,9 +12,15 @@
 // generalization hierarchy for every quasi-identifier. The -ldiv,
 // -tclose and -alpha flags conjoin extra properties onto the search
 // target (distinct l-diversity, t-closeness, the (p, alpha) frequency
-// cap), making every strategy look for the composite in one pass;
-// pskanon exits with a non-zero status when no generalization
-// satisfies the target within the suppression budget.
+// cap), making every strategy look for the composite in one pass.
+// The -timeout and -max-nodes flags bound the search; when a budget
+// trips, the best generalization found so far is released with a
+// warning on stderr.
+//
+// Exit codes: 0 when a satisfying generalization was released, 1 when
+// none exists within the suppression budget (a verdict), 2 when the
+// input layer rejected the invocation (missing file, malformed CSV,
+// invalid job config) before any search ran.
 package main
 
 import (
@@ -27,6 +33,6 @@ import (
 func main() {
 	if err := cli.Anon(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "pskanon:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }

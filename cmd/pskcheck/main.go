@@ -11,6 +11,11 @@
 // policy and exits with a non-zero status if it is violated, so
 // release pipelines can gate on `pskcheck ... && publish`.
 //
+// Exit codes: 0 when the checks ran and every requested property held,
+// 1 when a property was violated (a verdict), 2 when the input layer
+// rejected the invocation (missing file, malformed CSV) before any
+// check ran.
+//
 // Usage:
 //
 //	pskcheck -in masked.csv -qi Age,ZipCode,Sex -conf Illness -k 3 -p 2 [-violations]
@@ -28,6 +33,6 @@ import (
 func main() {
 	if err := cli.Check(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "pskcheck:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }

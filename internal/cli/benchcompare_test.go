@@ -1,0 +1,77 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+BenchmarkParallelSearch/serial-8         	     100	  11000000 ns/op	    5000 allocs/op
+BenchmarkPolicy/basic-8                  	   10000	    100000 ns/op	     200 allocs/op
+BenchmarkNew-8                           	   10000	     90000 ns/op	     100 allocs/op
+PASS
+ok  	psk	1.0s
+`
+
+func TestBenchCompare(t *testing.T) {
+	baseline := `{
+	  "BenchmarkParallelSearch/serial": {"ns_per_op": 10000000, "allocs_per_op": 5000},
+	  "BenchmarkPolicy/basic": {"ns_per_op": 100000, "allocs_per_op": 200},
+	  "BenchmarkGone": {"ns_per_op": 1, "allocs_per_op": 1}
+	}`
+
+	t.Run("within tolerance", func(t *testing.T) {
+		var out strings.Builder
+		// ParallelSearch is +10% against a 15% tolerance; Policy is flat.
+		err := BenchCompare(strings.NewReader(benchOutput), strings.NewReader(baseline), 0.15, &out)
+		if err != nil {
+			t.Fatalf("BenchCompare: %v\n%s", err, out.String())
+		}
+		if !strings.Contains(out.String(), "new (no baseline): BenchmarkNew") {
+			t.Errorf("baseline-less benchmark not reported:\n%s", out.String())
+		}
+	})
+
+	t.Run("regression fails", func(t *testing.T) {
+		var out strings.Builder
+		err := BenchCompare(strings.NewReader(benchOutput), strings.NewReader(baseline), 0.05, &out)
+		if err == nil {
+			t.Fatalf("+10%% accepted at 5%% tolerance:\n%s", out.String())
+		}
+		if !strings.Contains(err.Error(), "BenchmarkParallelSearch/serial") {
+			t.Errorf("offender not named: %v", err)
+		}
+		if strings.Contains(err.Error(), "BenchmarkPolicy/basic") {
+			t.Errorf("flat benchmark blamed: %v", err)
+		}
+	})
+
+	t.Run("improvement passes at zero tolerance", func(t *testing.T) {
+		fast := strings.Replace(benchOutput, "11000000 ns/op", "9000000 ns/op", 1)
+		var out strings.Builder
+		if err := BenchCompare(strings.NewReader(fast), strings.NewReader(baseline), 0, &out); err != nil {
+			t.Fatalf("improvement rejected: %v", err)
+		}
+	})
+
+	t.Run("disjoint snapshots fail", func(t *testing.T) {
+		var out strings.Builder
+		err := BenchCompare(strings.NewReader(benchOutput), strings.NewReader(`{"Other": {"ns_per_op": 1}}`), 0.15, &out)
+		if err == nil || !strings.Contains(err.Error(), "no benchmarks in common") {
+			t.Errorf("disjoint comparison: %v", err)
+		}
+	})
+
+	t.Run("bad inputs fail", func(t *testing.T) {
+		var out strings.Builder
+		if err := BenchCompare(strings.NewReader(benchOutput), strings.NewReader("{not json"), 0.15, &out); err == nil {
+			t.Error("malformed baseline accepted")
+		}
+		if err := BenchCompare(strings.NewReader("no benchmarks here"), strings.NewReader(baseline), 0.15, &out); err == nil {
+			t.Error("empty bench output accepted")
+		}
+		if err := BenchCompare(strings.NewReader(benchOutput), strings.NewReader(baseline), -1, &out); err == nil {
+			t.Error("negative tolerance accepted")
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -28,6 +29,17 @@ var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 // out. Lines that are not benchmark results (headers, PASS, ok) are
 // ignored; a benchmark run twice keeps the last result.
 func BenchJSON(in io.Reader, out io.Writer) error {
+	results, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// parseBench reads `go test -bench` output into per-benchmark metrics.
+func parseBench(in io.Reader) (map[string]BenchMetrics, error) {
 	results := make(map[string]BenchMetrics)
 	sc := bufio.NewScanner(in)
 	for sc.Scan() {
@@ -41,7 +53,7 @@ func BenchJSON(in io.Reader, out io.Writer) error {
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				return fmt.Errorf("benchjson: %s: bad value %q", name, fields[i])
+				return nil, fmt.Errorf("benchjson: %s: bad value %q", name, fields[i])
 			}
 			switch fields[i+1] {
 			case "ns/op":
@@ -56,12 +68,66 @@ func BenchJSON(in io.Reader, out io.Writer) error {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return nil, err
 	}
 	if len(results) == 0 {
-		return fmt.Errorf("benchjson: no benchmark results on input")
+		return nil, fmt.Errorf("benchjson: no benchmark results on input")
 	}
-	enc := json.NewEncoder(out)
-	enc.SetIndent("", "  ")
-	return enc.Encode(results)
+	return results, nil
+}
+
+// BenchCompare reads fresh `go test -bench` output from in and judges
+// it against a committed baseline snapshot (a BenchJSON file read from
+// baseline): every benchmark present in both must not regress its
+// ns/op by more than tolerance (a fraction: 0.15 allows +15%). A table
+// of deltas is written to out; regressions beyond tolerance make the
+// call fail, listing each offender, so CI can gate merges on it.
+// Benchmarks on only one side are reported and skipped, but the
+// intersection must be non-empty — comparing disjoint snapshots is a
+// harness bug, not a pass.
+func BenchCompare(in, baseline io.Reader, tolerance float64, out io.Writer) error {
+	if tolerance < 0 {
+		return fmt.Errorf("benchjson: negative tolerance %g", tolerance)
+	}
+	fresh, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	var base map[string]BenchMetrics
+	if err := json.NewDecoder(baseline).Decode(&base); err != nil {
+		return fmt.Errorf("benchjson: baseline: %w", err)
+	}
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		if _, ok := base[name]; ok {
+			names = append(names, name)
+		} else {
+			fmt.Fprintf(out, "new (no baseline): %s\n", name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("benchjson: no benchmarks in common with the baseline")
+	}
+	var regressions []string
+	for _, name := range names {
+		b, f := base[name], fresh[name]
+		if b.NsPerOp <= 0 {
+			fmt.Fprintf(out, "skip (zero baseline): %s\n", name)
+			continue
+		}
+		delta := f.NsPerOp/b.NsPerOp - 1
+		verdict := "ok"
+		if delta > tolerance {
+			verdict = "REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s (+%.1f%%)", name, 100*delta))
+		}
+		fmt.Fprintf(out, "%-60s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+			name, b.NsPerOp, f.NsPerOp, 100*delta, verdict)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("benchjson: %d benchmark(s) regressed beyond %.0f%%: %s",
+			len(regressions), 100*tolerance, strings.Join(regressions, ", "))
+	}
+	return nil
 }

@@ -78,6 +78,8 @@ func Anon(args []string, stdout, stderr io.Writer) error {
 		jobPath   = fs.String("job", "", "anonymization job JSON")
 		out       = fs.String("out", "", "output CSV file (default: stdout)")
 		algorithm = fs.String("algorithm", "samarati", "search algorithm: samarati, bottomup, exhaustive")
+		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the search; on expiry the best result found so far is used (0 = no limit)")
+		maxNodes  = fs.Int64("max-nodes", 0, "lattice-node evaluation budget for the search (0 = no limit)")
 	)
 	pf := registerPolicyFlags(fs)
 	prof := registerProfileFlags(fs)
@@ -99,25 +101,27 @@ func Anon(args []string, stdout, stderr io.Writer) error {
 	}
 	defer of.close(stderr)
 
+	// Loading and validation: failures here are input errors (exit 2),
+	// not verdicts — the data was never judged.
 	job, err := config.Load(*jobPath)
 	if err != nil {
-		return err
+		return inputErr(err)
 	}
 	header, err := csvHeader(*in)
 	if err != nil {
-		return err
+		return inputErr(err)
 	}
 	schema, err := job.Schema(header)
 	if err != nil {
-		return err
+		return inputErr(err)
 	}
 	data, err := psk.ReadCSVFile(*in, &schema)
 	if err != nil {
-		return err
+		return inputErr(err)
 	}
 	hs, err := job.BuildHierarchies()
 	if err != nil {
-		return err
+		return inputErr(err)
 	}
 
 	cfg := psk.Config{
@@ -127,6 +131,7 @@ func Anon(args []string, stdout, stderr io.Writer) error {
 		K:                job.K,
 		P:                job.P,
 		MaxSuppress:      job.MaxSuppress,
+		Budget:           psk.Budget{Deadline: *timeout, MaxNodes: *maxNodes},
 		Recorder:         of.rec,
 		Tracer:           of.tracer,
 	}
@@ -153,7 +158,15 @@ func Anon(args []string, stdout, stderr io.Writer) error {
 	if err := of.report(res.Report, stderr); err != nil {
 		return err
 	}
+	if res.StopReason.Partial() {
+		fmt.Fprintf(stderr, "warning: search stopped early (%s); the result reflects only the evaluated part of the lattice\n",
+			res.StopReason)
+	}
 	if !res.Found {
+		if res.StopReason.Partial() {
+			return fmt.Errorf("no generalization found before the search stopped (%s); raise -timeout/-max-nodes to search the full lattice",
+				res.StopReason)
+		}
 		if pol != nil {
 			return fmt.Errorf("no generalization satisfies %s within %d suppressions", pol.Name(), job.MaxSuppress)
 		}
@@ -218,7 +231,7 @@ func Check(args []string, stdout, stderr io.Writer) error {
 	defer of.close(stderr)
 	data, err := psk.ReadCSVFile(*in, nil)
 	if err != nil {
-		return err
+		return inputErr(err)
 	}
 
 	if *sql != "" {

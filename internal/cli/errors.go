@@ -1,0 +1,50 @@
+package cli
+
+import "errors"
+
+// Exit codes of the release-pipeline tools. A violated property and a
+// broken input must be distinguishable to a shell script: `pskcheck &&
+// publish` wants to halt on both, but a retry loop or a CI gate wants
+// to treat "the data fails the policy" (keep the data out) differently
+// from "the invocation never examined the data" (fix the job file).
+const (
+	// ExitOK: the tool ran and, where applicable, the property held.
+	ExitOK = 0
+	// ExitViolation: the tool ran but the property was violated or no
+	// satisfying generalization exists — a verdict, not a failure.
+	ExitViolation = 1
+	// ExitInputError: the input layer rejected the invocation (missing
+	// file, malformed CSV, invalid job config, bad hierarchy) before
+	// any verdict was possible.
+	ExitInputError = 2
+)
+
+// InputError marks an error from the loading/validation phase: the
+// tool never got far enough to judge the data. ExitCode maps it to
+// ExitInputError.
+type InputError struct{ Err error }
+
+func (e *InputError) Error() string { return e.Err.Error() }
+func (e *InputError) Unwrap() error { return e.Err }
+
+// inputErr wraps err as an InputError; nil stays nil so loader call
+// sites can wrap unconditionally.
+func inputErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &InputError{Err: err}
+}
+
+// ExitCode maps an entry-point error to the process exit code of the
+// convention above.
+func ExitCode(err error) int {
+	if err == nil {
+		return ExitOK
+	}
+	var ie *InputError
+	if errors.As(err, &ie) {
+		return ExitInputError
+	}
+	return ExitViolation
+}

@@ -15,7 +15,7 @@ import (
 // "all" runs them.
 var ExpNames = []string{"attack", "table3", "figure1", "figure2", "figure3",
 	"table4", "example1", "table7", "table8", "ablation", "utility", "methods", "decay", "policy",
-	"telemetry"}
+	"telemetry", "budget"}
 
 // Exp implements pskexp: regenerate the paper's tables and figures.
 func Exp(args []string, stdout, stderr io.Writer) error {
@@ -23,9 +23,11 @@ func Exp(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		exp   = fs.String("exp", "all", "experiment to run (all, "+strings.Join(ExpNames, ", ")+")")
-		adult = fs.String("adult", "", "path to a real UCI adult.data file (default: synthetic Adult)")
-		seed  = fs.Int64("seed", 17, "sample seed for the Adult experiments")
-		ts    = fs.Int("ts", 0, "suppression threshold for Table 8")
+		adult    = fs.String("adult", "", "path to a real UCI adult.data file (default: synthetic Adult)")
+		seed     = fs.Int64("seed", 17, "sample seed for the Adult experiments")
+		ts       = fs.Int("ts", 0, "suppression threshold for Table 8")
+		timeout  = fs.Duration("timeout", 0, "wall-clock budget for the E18 budget experiment's flag rows (0 = off)")
+		maxNodes = fs.Int64("max-nodes", 0, "node budget for the E18 budget experiment's flag rows (0 = off)")
 	)
 	prof := registerProfileFlags(fs)
 	of := registerObsFlags(fs)
@@ -48,7 +50,7 @@ func Exp(args []string, stdout, stderr io.Writer) error {
 		var err error
 		source, err = dataset.Load(*adult)
 		if err != nil {
-			return err
+			return inputErr(err)
 		}
 		fmt.Fprintf(stdout, "using real Adult data: %d records from %s\n\n", source.NumRows(), *adult)
 	}
@@ -185,6 +187,13 @@ func Exp(args []string, stdout, stderr io.Writer) error {
 				}
 			}
 			return emit("E17: search telemetry", res.Format())
+		},
+		"budget": func() error {
+			res, err := experiments.RunBudget(1000, 3, 2, source, *seed, *timeout, *maxNodes)
+			if err != nil {
+				return err
+			}
+			return emit("E18: budget-bounded search", res.Format())
 		},
 	}
 

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"psk/internal/table"
+)
+
+// fuzzTable decodes arbitrary bytes into a tiny two-column microdata
+// table: byte pairs become (QI, Conf) cells over a 4-letter alphabet,
+// small enough that groups collide and both the satisfied and violated
+// paths are reachable from short inputs.
+func fuzzTable(t *testing.T, data []byte) *table.Table {
+	sch := table.MustSchema(
+		table.Field{Name: "QI", Type: table.String},
+		table.Field{Name: "Conf", Type: table.String},
+	)
+	b, err := table.NewBuilder(sch)
+	if err != nil {
+		t.Fatalf("builder: %v", err)
+	}
+	letters := []string{"a", "b", "c", "d"}
+	for i := 0; i+1 < len(data); i += 2 {
+		b.Append(table.SV(letters[int(data[i])%len(letters)]), table.SV(letters[int(data[i+1])%len(letters)]))
+	}
+	tbl, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return tbl
+}
+
+// FuzzPolicyEval is a differential check of the two implementations of
+// Definition 2: Algorithm 1's row path (CheckBasic) against the
+// composable PSensitiveKAnonymityPolicy on the statistics view. They
+// must agree on every input — same error/no-error outcome, same
+// verdict — and neither may panic. Seed corpus under testdata/fuzz.
+func FuzzPolicyEval(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 1, 0, 1, 1}, uint8(2), uint8(2))
+	f.Add([]byte{0, 0, 0, 0}, uint8(1), uint8(3))
+	f.Add([]byte{}, uint8(2), uint8(2))
+	f.Add([]byte{3, 2, 1, 0}, uint8(0), uint8(0))
+	f.Add([]byte{1, 2, 3}, uint8(5), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, pb, kb uint8) {
+		// Small moduli keep p <= group sizes reachable; raw 0 values
+		// stay possible so the validation paths are fuzzed too.
+		p, k := int(pb%6), int(kb%9)
+		tbl := fuzzTable(t, data)
+		qis, conf := []string{"QI"}, []string{"Conf"}
+
+		basicOK, basicErr := CheckBasic(tbl, qis, conf, p, k)
+
+		view, err := NewStatsView(tbl, qis, conf, 1)
+		if err != nil {
+			t.Fatalf("NewStatsView: %v", err)
+		}
+		res, polErr := PSensitiveKAnonymityPolicy{P: p, K: k, Attrs: conf}.Evaluate(view)
+
+		if (basicErr == nil) != (polErr == nil) {
+			t.Fatalf("p=%d k=%d rows=%d: CheckBasic err %v, policy err %v",
+				p, k, tbl.NumRows(), basicErr, polErr)
+		}
+		if basicErr == nil && basicOK != res.Satisfied {
+			t.Fatalf("p=%d k=%d rows=%d: CheckBasic=%v, policy=%v (%v)",
+				p, k, tbl.NumRows(), basicOK, res.Satisfied, res.Reason)
+		}
+	})
+}

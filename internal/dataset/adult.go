@@ -274,6 +274,24 @@ func Hierarchies() (*hierarchy.Set, error) {
 // LatticePrefixes returns the paper's node-label prefixes <A,M,R,S>.
 func LatticePrefixes() []string { return []string{"A", "M", "R", "S"} }
 
+// Hard limits on microdata loading. Load accepts a user-supplied path,
+// so the parser must fail cleanly on hostile or corrupt files rather
+// than parse garbage into the search: the caps bound memory, and the
+// range checks reject values no census record can hold (a mis-shifted
+// column otherwise parses silently).
+const (
+	// MaxFileBytes caps the adult.data file size (the genuine file is
+	// under 4 MiB; 256 MiB admits any plausible extension).
+	MaxFileBytes = 256 << 20
+	// MaxLineBytes caps a single record line.
+	MaxLineBytes = 4096
+	// MaxRows caps the record count of one file.
+	MaxRows = 4 << 20
+	// MaxAge / MaxCapital bound the validated numeric fields.
+	MaxAge     = 150
+	MaxCapital = 10_000_000
+)
+
 // Load reads a genuine UCI adult.data (or adult.test) file: 15
 // comma-separated fields without a header. The paper's TaxPeriod
 // attribute is absent from the public release; it is substituted by the
@@ -289,11 +307,14 @@ func Load(path string) (*table.Table, error) {
 }
 
 func parseAdult(text string) (*table.Table, error) {
+	if len(text) > MaxFileBytes {
+		return nil, fmt.Errorf("dataset: %d bytes of input exceeds the cap %d", len(text), MaxFileBytes)
+	}
 	b, err := table.NewBuilder(Schema())
 	if err != nil {
 		return nil, err
 	}
-	line := 0
+	line, rows := 0, 0
 	for start := 0; start < len(text); {
 		end := start
 		for end < len(text) && text[end] != '\n' {
@@ -302,6 +323,9 @@ func parseAdult(text string) (*table.Table, error) {
 		row := text[start:end]
 		start = end + 1
 		line++
+		if len(row) > MaxLineBytes {
+			return nil, fmt.Errorf("dataset: line %d is %d bytes, cap is %d", line, len(row), MaxLineBytes)
+		}
 		row = trim(row)
 		if row == "" || row == "." {
 			continue
@@ -310,8 +334,21 @@ func parseAdult(text string) (*table.Table, error) {
 		if len(fields) != 15 {
 			return nil, fmt.Errorf("dataset: line %d has %d fields, want 15", line, len(fields))
 		}
+		rows++
+		if rows > MaxRows {
+			return nil, fmt.Errorf("dataset: more than %d records", MaxRows)
+		}
 		// UCI columns: 0 age, 5 marital-status, 8 race, 9 sex,
 		// 10 capital-gain, 11 capital-loss, 12 hours-per-week, 14 class.
+		if err := checkRange("age", fields[0], line, 0, MaxAge); err != nil {
+			return nil, err
+		}
+		if err := checkRange("capital-gain", fields[10], line, 0, MaxCapital); err != nil {
+			return nil, err
+		}
+		if err := checkRange("capital-loss", fields[11], line, 0, MaxCapital); err != nil {
+			return nil, err
+		}
 		hours := atoiDefault(fields[12], 40)
 		b.AppendText(
 			fields[0],
@@ -325,6 +362,30 @@ func parseAdult(text string) (*table.Table, error) {
 		)
 	}
 	return b.Build()
+}
+
+// checkRange validates a decimal field against [lo, hi]. Unlike
+// atoiDefault it rejects rather than defaults: these fields feed the
+// lattice hierarchies, where an out-of-range value is a corrupt record,
+// not a missing one.
+func checkRange(name, s string, line int, lo, hi int64) error {
+	if s == "" || s == "?" {
+		return fmt.Errorf("dataset: line %d: missing %s", line, name)
+	}
+	var n int64
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return fmt.Errorf("dataset: line %d: %s %q is not a non-negative integer", line, name, s)
+		}
+		n = n*10 + int64(s[i]-'0')
+		if n > hi {
+			return fmt.Errorf("dataset: line %d: %s %q out of range [%d, %d]", line, name, s, lo, hi)
+		}
+	}
+	if n < lo {
+		return fmt.Errorf("dataset: line %d: %s %q out of range [%d, %d]", line, name, s, lo, hi)
+	}
+	return nil
 }
 
 func hoursToTaxPeriod(hours int) int {

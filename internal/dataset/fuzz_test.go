@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadTable drives parseAdult with arbitrary bytes: the parser must
+// never panic, and any table it accepts must satisfy the loader's own
+// range contracts (ages and capital fields in range, TaxPeriod one of
+// the four filing periods). Seed corpus under testdata/fuzz.
+func FuzzLoadTable(f *testing.F) {
+	f.Add("39, State-gov, 77516, Bachelors, 13, Never-married, Adm-clerical, Not-in-family, White, Male, 2174, 0, 40, United-States, <=50K\n")
+	f.Add("50, Self-emp-not-inc, 83311, Bachelors, 13, Married-civ-spouse, Exec-managerial, Husband, White, Male, 0, 0, 13, United-States, >50K.\n")
+	f.Add("")
+	f.Add("# not a record\n.\n")
+	f.Add("1,2,3\n")
+	f.Add(strings.Repeat(",", 14) + "\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		tbl, err := parseAdult(text)
+		if err != nil {
+			return
+		}
+		for i := 0; i < tbl.NumRows(); i++ {
+			if v, err := tbl.Value(i, Age); err != nil || v.Int() < 0 || v.Int() > MaxAge {
+				t.Fatalf("row %d: accepted age %v (err %v)", i, v, err)
+			}
+			if v, err := tbl.Value(i, CapitalGain); err != nil || v.Int() < 0 || v.Int() > MaxCapital {
+				t.Fatalf("row %d: accepted capital gain %v (err %v)", i, v, err)
+			}
+			if v, err := tbl.Value(i, CapitalLoss); err != nil || v.Int() < 0 || v.Int() > MaxCapital {
+				t.Fatalf("row %d: accepted capital loss %v (err %v)", i, v, err)
+			}
+			v, err := tbl.Value(i, TaxPeriod)
+			if err != nil {
+				t.Fatalf("row %d: tax period: %v", i, err)
+			}
+			switch v.Int() {
+			case 1, 3, 6, 12:
+			default:
+				t.Fatalf("row %d: tax period %v outside the filing periods", i, v)
+			}
+		}
+	})
+}
+
+// TestParseAdultHardening pins the validation added for hostile input:
+// caps on size, line length and row count, and range checks on the
+// numeric fields.
+func TestParseAdultHardening(t *testing.T) {
+	good := "39, State-gov, 77516, Bachelors, 13, Never-married, Adm-clerical, Not-in-family, White, Male, 2174, 0, 40, United-States, <=50K\n"
+	if _, err := parseAdult(good); err != nil {
+		t.Fatalf("genuine record rejected: %v", err)
+	}
+	reject := []struct {
+		name, text string
+	}{
+		{"age out of range", strings.Replace(good, "39,", "151,", 1)},
+		{"age negative", strings.Replace(good, "39,", "-1,", 1)},
+		{"age non-numeric", strings.Replace(good, "39,", "old,", 1)},
+		{"age missing", strings.Replace(good, "39,", "?,", 1)},
+		{"gain out of range", strings.Replace(good, " 2174,", " 10000001,", 1)},
+		{"gain overflow", strings.Replace(good, " 2174,", " 99999999999999999999,", 1)},
+		{"loss non-numeric", strings.Replace(good, " 0, 40,", " x, 40,", 1)},
+		{"long line", strings.Replace(good, "State-gov", strings.Repeat("x", MaxLineBytes), 1)},
+	}
+	for _, tc := range reject {
+		if _, err := parseAdult(tc.text); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

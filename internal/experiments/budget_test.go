@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"psk/internal/search"
+)
+
+// E18: the ladder must show graceful degradation — every bounded run
+// spends at most its budget, stops with the structured node-budget
+// reason when truncated, and the unbounded final row completes the
+// lattice with StopDone and a non-empty minimal set.
+func TestRunBudget(t *testing.T) {
+	res, err := RunBudget(500, 3, 2, nil, 17, 0, 5)
+	if err != nil {
+		t.Fatalf("RunBudget: %v", err)
+	}
+	if res.LatticeSize != 96 {
+		t.Fatalf("lattice size = %d, want 96", res.LatticeSize)
+	}
+	if len(res.Rows) < 3 {
+		t.Fatalf("only %d rows", len(res.Rows))
+	}
+	var sawDone bool
+	for _, row := range res.Rows {
+		if row.MaxNodes > 0 {
+			if int64(row.Evaluated) > row.MaxNodes {
+				t.Errorf("%s budget %d: evaluated %d nodes", row.Strategy, row.MaxNodes, row.Evaluated)
+			}
+			if row.StopReason != search.StopNodeBudget && row.StopReason != search.StopDone {
+				t.Errorf("%s budget %d: stop reason %s", row.Strategy, row.MaxNodes, row.StopReason)
+			}
+		}
+		if row.StopReason == search.StopDone {
+			sawDone = true
+		}
+	}
+	if !sawDone {
+		t.Error("no run completed")
+	}
+	final := res.Rows[len(res.Rows)-1]
+	if final.MaxNodes != 5 || final.Strategy != "Samarati" {
+		t.Errorf("flag row = %+v", final)
+	}
+	unbounded := res.Rows[len(res.Rows)-2]
+	if unbounded.MaxNodes != 0 || unbounded.StopReason != search.StopDone || unbounded.Minimal == 0 {
+		t.Errorf("unbounded row = %+v", unbounded)
+	}
+	if !strings.Contains(res.Format(), "node-budget") {
+		t.Error("Format missing the stop column")
+	}
+
+	// A deadline flag adds a Samarati row bounded by wall time.
+	res2, err := RunBudget(500, 3, 2, nil, 17, time.Minute, 0)
+	if err != nil {
+		t.Fatalf("RunBudget with deadline: %v", err)
+	}
+	last := res2.Rows[len(res2.Rows)-1]
+	if last.Deadline != time.Minute {
+		t.Errorf("deadline row = %+v", last)
+	}
+}

@@ -33,6 +33,12 @@ type Cache struct {
 	// Incognito shares one cache across sub-searches that may attach a
 	// recorder while workers from an earlier phase still read it.
 	rec atomic.Pointer[obs.Recorder]
+
+	// bytes is the estimated memory (table.MemBytes) of all columns
+	// built so far, maintained unconditionally — unlike the telemetry
+	// counters — because Budget.MaxCacheBytes enforcement reads it
+	// between node evaluations whether or not a recorder is attached.
+	bytes atomic.Int64
 }
 
 type colKey struct {
@@ -41,9 +47,10 @@ type colKey struct {
 }
 
 type colEntry struct {
-	once sync.Once
-	col  table.Column
-	err  error
+	once  sync.Once
+	col   table.Column
+	bytes int64
+	err   error
 }
 
 type mapKey struct {
@@ -99,6 +106,10 @@ func (c *Cache) Column(attr string, level int) (table.Column, error) {
 		if e.err != nil {
 			e.err = fmt.Errorf("generalize: cache %s level %d: %w", attr, level, e.err)
 		}
+		if e.col != nil {
+			e.bytes = table.MemBytes(e.col)
+			c.bytes.Add(e.bytes)
+		}
 	})
 	if rec := c.recorder(); rec != nil {
 		// The goroutine that inserted the entry reports the miss (and
@@ -106,15 +117,15 @@ func (c *Cache) Column(attr string, level int) (table.Column, error) {
 		if ok {
 			rec.CacheColumn(true, 0)
 		} else {
-			var bytes int64
-			if e.col != nil {
-				bytes = table.MemBytes(e.col)
-			}
-			rec.CacheColumn(false, bytes)
+			rec.CacheColumn(false, e.bytes)
 		}
 	}
 	return e.col, e.err
 }
+
+// Bytes returns the estimated memory currently held by built columns,
+// the quantity search budgets cap with Budget.MaxCacheBytes.
+func (c *Cache) Bytes() int64 { return c.bytes.Load() }
 
 // levelColumn returns attr generalized to level, where level 0 is the
 // source column itself (ApplyQIs leaves level-0 attributes untouched,

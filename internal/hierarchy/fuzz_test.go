@@ -1,0 +1,108 @@
+package hierarchy
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadHierarchy drives ParseTree with arbitrary text: the parser
+// must never panic, and any tree it accepts must be a working domain
+// generalization hierarchy — every ground value generalizes at every
+// level, domains only coarsen upward, and the whole tree survives the
+// Set.Validate round-trip. Seed corpus under testdata/fuzz.
+func FuzzLoadHierarchy(f *testing.F) {
+	f.Add("White;White;*\nBlack;Other;*\n")
+	f.Add("# comment\n\nNever-married;Single;*\nMarried-civ-spouse;Married;*\n")
+	f.Add("a;b\nb;b\n")
+	f.Add("x;y;x\n")
+	f.Add(";a\n")
+	f.Add("a\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		tree, err := ParseTree("Fuzz", text)
+		if err != nil {
+			return
+		}
+		h := tree.Height()
+		if h < 1 || h > MaxTreeHeight {
+			t.Fatalf("accepted height %d", h)
+		}
+		ground := tree.GroundValues()
+		if len(ground) == 0 || len(ground) > MaxTreeValues {
+			t.Fatalf("accepted %d ground values", len(ground))
+		}
+		for _, v := range ground {
+			for lvl := 0; lvl <= h; lvl++ {
+				if _, err := tree.Generalize(v, lvl); err != nil {
+					t.Fatalf("Generalize(%q, %d): %v", v, lvl, err)
+				}
+			}
+		}
+		// Consistency makes level l+1 a function of level l, so domains
+		// can only shrink (or hold) going up.
+		for lvl := 1; lvl <= h; lvl++ {
+			if tree.DomainSize(lvl) > tree.DomainSize(lvl-1) {
+				t.Fatalf("domain grows from level %d (%d) to %d (%d)",
+					lvl-1, tree.DomainSize(lvl-1), lvl, tree.DomainSize(lvl))
+			}
+		}
+		set, err := NewSet(tree)
+		if err != nil {
+			t.Fatalf("NewSet: %v", err)
+		}
+		if err := set.Validate(map[string][]string{"Fuzz": ground}); err != nil {
+			t.Fatalf("Validate rejected an accepted tree: %v", err)
+		}
+	})
+}
+
+// TestTreeHardening pins the validation added for hostile input: the
+// construction caps, the per-chain cycle check, and ParseTree's empty
+// ground value rejection.
+func TestTreeHardening(t *testing.T) {
+	t.Run("cycle rejected", func(t *testing.T) {
+		if _, err := NewTree("X", map[string][]string{"A": {"B", "A"}}); err == nil {
+			t.Error("A -> B -> A accepted")
+		}
+		if _, err := NewTree("X", map[string][]string{"A": {"B", "C", "B"}}); err == nil {
+			t.Error("B recurring after C accepted")
+		}
+	})
+	t.Run("identity runs allowed", func(t *testing.T) {
+		// The paper's Race chain: White -> White -> *.
+		if _, err := NewTree("Race", map[string][]string{
+			"White": {"White", "White", "*"},
+			"Black": {"Black", "Other", "*"},
+		}); err != nil {
+			t.Errorf("identity run rejected: %v", err)
+		}
+	})
+	t.Run("height cap", func(t *testing.T) {
+		chain := make([]string, MaxTreeHeight+1)
+		for i := range chain {
+			chain[i] = fmt.Sprintf("l%d", i)
+		}
+		if _, err := NewTree("X", map[string][]string{"v": chain}); err == nil {
+			t.Error("over-tall chain accepted")
+		}
+	})
+	t.Run("label cap", func(t *testing.T) {
+		long := strings.Repeat("x", MaxLabelLen+1)
+		if _, err := NewTree("X", map[string][]string{long: {"*"}}); err == nil {
+			t.Error("oversized ground value accepted")
+		}
+		if _, err := NewTree("X", map[string][]string{"v": {long}}); err == nil {
+			t.Error("oversized label accepted")
+		}
+	})
+	t.Run("empty ground value", func(t *testing.T) {
+		if _, err := ParseTree("X", ";a\n"); err == nil {
+			t.Error("empty ground value accepted")
+		}
+	})
+	t.Run("text cap", func(t *testing.T) {
+		if _, err := ParseTree("X", strings.Repeat("#", MaxParseBytes+1)); err == nil {
+			t.Error("oversized text accepted")
+		}
+	})
+}

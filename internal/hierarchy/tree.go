@@ -17,27 +17,81 @@ type Tree struct {
 	names []string // level names, may be empty
 }
 
+// Hard limits on hierarchy construction. Hierarchies arrive from
+// user-supplied files (ParseTree via job configs), so the constructors
+// must hold up against hostile input: the caps below bound the memory
+// and time any accepted hierarchy can cost, and the fuzz targets
+// exercise everything under them.
+const (
+	// MaxTreeHeight caps chain length: a lattice dimension beyond this
+	// is a config error, not a usable hierarchy.
+	MaxTreeHeight = 64
+	// MaxTreeValues caps the ground domain size of one tree.
+	MaxTreeValues = 1 << 20
+	// MaxLabelLen caps one value or label, in bytes.
+	MaxLabelLen = 1 << 10
+	// MaxParseBytes caps the text ParseTree accepts.
+	MaxParseBytes = 16 << 20
+)
+
 // NewTree builds a tree hierarchy from per-value ancestor chains: rows
 // maps each ground value to its labels at levels 1..height. All chains
 // must have the same length, and the hierarchy must be consistent: two
 // values with equal labels at level i must have equal labels at every
 // level above i (otherwise generalization would not be a function on
-// domains).
+// domains). Chains must also be cycle-free: once a chain generalizes
+// away from a label, the label may not reappear at a higher level
+// (A -> B -> A would make "more general" meaningless), though a label
+// may persist across consecutive levels (White -> White -> *, as in
+// the paper's Race hierarchy).
 func NewTree(attr string, rows map[string][]string) (*Tree, error) {
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("hierarchy: %s: empty tree hierarchy", attr)
 	}
+	if len(rows) > MaxTreeValues {
+		return nil, fmt.Errorf("hierarchy: %s: %d ground values exceeds the cap %d", attr, len(rows), MaxTreeValues)
+	}
 	height := -1
 	for v, chain := range rows {
+		if len(v) > MaxLabelLen {
+			return nil, fmt.Errorf("hierarchy: %s: ground value of %d bytes exceeds the cap %d", attr, len(v), MaxLabelLen)
+		}
 		if height == -1 {
 			height = len(chain)
 		} else if len(chain) != height {
 			return nil, fmt.Errorf("hierarchy: %s: value %q has chain length %d, want %d",
 				attr, v, len(chain), height)
 		}
+		for lvl, label := range chain {
+			if len(label) > MaxLabelLen {
+				return nil, fmt.Errorf("hierarchy: %s: value %q level %d label of %d bytes exceeds the cap %d",
+					attr, v, lvl+1, len(label), MaxLabelLen)
+			}
+		}
 	}
 	if height == 0 {
 		return nil, fmt.Errorf("hierarchy: %s: tree hierarchy needs at least one level", attr)
+	}
+	if height > MaxTreeHeight {
+		return nil, fmt.Errorf("hierarchy: %s: height %d exceeds the cap %d", attr, height, MaxTreeHeight)
+	}
+	// Cycle check: walking up one chain, a label left behind must not
+	// recur (runs of the same label are generalization standing still,
+	// which is fine; returning to an earlier label is not).
+	for v, chain := range rows {
+		left := make(map[string]bool, height)
+		prev := v
+		for _, label := range chain {
+			if label == prev {
+				continue
+			}
+			left[prev] = true
+			if left[label] {
+				return nil, fmt.Errorf("hierarchy: %s: value %q returns to label %q after generalizing away from it",
+					attr, v, label)
+			}
+			prev = label
+		}
 	}
 	// Consistency: label at level i determines label at level i+1.
 	for lvl := 0; lvl < height-1; lvl++ {
@@ -130,8 +184,13 @@ func (t *Tree) DomainSize(level int) int {
 // ParseTree parses the common semicolon-separated hierarchy file format
 // (one line per ground value: value;level1;level2;...), as used by ARX
 // and similar tools. Blank lines and lines starting with '#' are
-// skipped.
+// skipped. The text is capped at MaxParseBytes, and ground values must
+// be non-empty (an empty value cannot appear in microdata and usually
+// signals a stray separator).
 func ParseTree(attr, text string) (*Tree, error) {
+	if len(text) > MaxParseBytes {
+		return nil, fmt.Errorf("hierarchy: %s: %d bytes of hierarchy text exceeds the cap %d", attr, len(text), MaxParseBytes)
+	}
 	rows := make(map[string][]string)
 	for ln, line := range strings.Split(text, "\n") {
 		line = strings.TrimSpace(line)
@@ -144,6 +203,9 @@ func ParseTree(attr, text string) (*Tree, error) {
 		}
 		for i := range parts {
 			parts[i] = strings.TrimSpace(parts[i])
+		}
+		if parts[0] == "" {
+			return nil, fmt.Errorf("hierarchy: %s: line %d: empty ground value", attr, ln+1)
 		}
 		if _, dup := rows[parts[0]]; dup {
 			return nil, fmt.Errorf("hierarchy: %s: line %d: duplicate ground value %q", attr, ln+1, parts[0])

@@ -150,6 +150,8 @@ type Recorder struct {
 	poolSize       atomic.Int64
 	workerNs       [maxWorkers]atomic.Int64
 
+	budgetStops, panicsRecovered atomic.Int64
+
 	mu       sync.Mutex
 	policies map[string]*policyAgg
 }
@@ -287,6 +289,25 @@ func (r *Recorder) AddSuppressedRows(n int64) {
 		return
 	}
 	r.suppressedRows.Add(n)
+}
+
+// BudgetStop records one search stopped early by a tripped budget
+// limit or a cancelled context (counted once per strategy call — the
+// limiter publishes a single stop reason).
+func (r *Recorder) BudgetStop() {
+	if r == nil {
+		return
+	}
+	r.budgetStops.Add(1)
+}
+
+// PanicRecovered records one node evaluation whose panic the engine
+// recovered into an error outcome.
+func (r *Recorder) PanicRecovered() {
+	if r == nil {
+		return
+	}
+	r.panicsRecovered.Add(1)
 }
 
 // PolicyEval records one policy evaluation (by policy name) started at

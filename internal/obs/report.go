@@ -30,6 +30,12 @@ type Report struct {
 	// SuppressedRows totals tuples removed by suppression at evaluated
 	// nodes that passed the budget gate.
 	SuppressedRows int64 `json:"suppressed_rows"`
+	// BudgetStops counts searches stopped early by a tripped budget
+	// limit or a cancelled context.
+	BudgetStops int64 `json:"budget_stops"`
+	// PanicsRecovered counts node evaluations whose panic the engine
+	// recovered into an error outcome.
+	PanicsRecovered int64 `json:"panics_recovered"`
 }
 
 // NodeCounts is the verdict breakdown of node evaluations.
@@ -148,6 +154,8 @@ func (r *Recorder) Snapshot() *Report {
 	}
 	rep.PoolSize = r.poolSize.Load()
 	rep.SuppressedRows = r.suppressedRows.Load()
+	rep.BudgetStops = r.budgetStops.Load()
+	rep.PanicsRecovered = r.panicsRecovered.Load()
 	return rep
 }
 
@@ -216,6 +224,10 @@ func (r *Report) String() string {
 		c.Hits, c.Misses, 100*c.HitRate(), c.Bytes/1024, c.MapHits, c.MapMisses)
 	fmt.Fprintf(&b, "rollup store: %d merges, %d reuses, %d row scans\n",
 		r.Rollup.Merges, r.Rollup.Reuses, r.Rollup.RowScans)
+	if r.BudgetStops > 0 || r.PanicsRecovered > 0 {
+		fmt.Fprintf(&b, "degradation: %d budget stops, %d panics recovered\n",
+			r.BudgetStops, r.PanicsRecovered)
+	}
 	if len(r.Policies) > 0 {
 		b.WriteString("policies:\n")
 		for _, p := range r.Policies {

@@ -74,7 +74,13 @@ func AllMinimal(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 				tagUp(lat, node, tagged)
 			}
 		}
+		if eval.lim.tripped() {
+			// Levels below completed in full, so every node in Minimal is
+			// genuinely minimal; higher levels stay unexplored.
+			break
+		}
 	}
+	res.StopReason = eval.lim.stopReason()
 	res.Report = cfg.Recorder.Snapshot()
 	return res, nil
 }

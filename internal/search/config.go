@@ -8,6 +8,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -85,6 +86,15 @@ type Config struct {
 	// evaluation (node vector, height, verdict, duration, worker).
 	// Independent of Recorder; nil disables tracing.
 	Tracer *obs.Tracer
+	// Context, when non-nil, cancels the search: once Done, no further
+	// lattice node starts evaluating and the strategy returns its valid
+	// best-so-far partial result tagged StopCancelled. Nil (the default)
+	// means the search is not cancellable from outside.
+	Context context.Context
+	// Budget bounds the search by wall-clock time, nodes consumed and
+	// cache memory (see Budget). The zero value is unlimited and costs
+	// one pointer compare per node.
+	Budget Budget
 }
 
 // DefaultWorkers returns the recommended Config.Workers value: the
@@ -122,6 +132,9 @@ func (c Config) validate() (*generalize.Masker, error) {
 	}
 	if c.MaxSuppress < 0 {
 		return nil, fmt.Errorf("search: negative suppression threshold %d", c.MaxSuppress)
+	}
+	if c.Budget.Deadline < 0 || c.Budget.MaxNodes < 0 || c.Budget.MaxCacheBytes < 0 {
+		return nil, fmt.Errorf("search: negative budget limit %+v", c.Budget)
 	}
 	if c.Hierarchies == nil {
 		return nil, fmt.Errorf("search: nil hierarchy set")
@@ -226,5 +239,11 @@ type Result struct {
 	// Report is the telemetry snapshot taken when the search finished;
 	// nil unless Config.Recorder was set.
 	Report *obs.Report
+	// StopReason records why the search ended: StopDone for a complete
+	// run, otherwise the context/budget limit that tripped first, in
+	// which case the rest of the result is the valid best-so-far state
+	// (Found may be false even though an uncancelled search would have
+	// succeeded).
+	StopReason StopReason
 }
 

@@ -55,6 +55,12 @@ type evaluator struct {
 	// disabled configuration costs one compare per call site.
 	rec    *obs.Recorder
 	tracer *obs.Tracer
+	// lim enforces Config.Context and Config.Budget (budget.go). Nil —
+	// the unbudgeted default — costs one compare per node. Strategies
+	// that build several evaluators (Samarati's probes share one;
+	// Incognito builds one per subset) share a single limiter so the
+	// whole strategy call spends one budget.
+	lim *limiter
 }
 
 // newEvaluator builds the engine for one search. m's quasi-identifiers
@@ -62,6 +68,13 @@ type evaluator struct {
 // subset config). cache may be shared across evaluators of the same
 // source table; pass nil to build a fresh one.
 func newEvaluator(im *table.Table, m *generalize.Masker, cache *generalize.Cache, cfg Config, bounds core.Bounds) *evaluator {
+	return newLimitedEvaluator(im, m, cache, cfg, bounds, cfg.newLimiter())
+}
+
+// newLimitedEvaluator is newEvaluator with an explicit limiter, for
+// strategies that build several evaluators per call and need them to
+// draw on one shared budget (Incognito's subset passes).
+func newLimitedEvaluator(im *table.Table, m *generalize.Masker, cache *generalize.Cache, cfg Config, bounds core.Bounds, lim *limiter) *evaluator {
 	if cache == nil && !cfg.DisableCache {
 		cache = m.NewCache(im)
 	}
@@ -70,9 +83,11 @@ func newEvaluator(im *table.Table, m *generalize.Masker, cache *generalize.Cache
 		policy: core.Observe(cfg.effectivePolicy(bounds), cfg.Recorder),
 		conf:   cfg.effectiveConf(),
 		rec:    cfg.Recorder, tracer: cfg.Tracer,
+		lim: lim,
 	}
 	if cache != nil {
 		cache.Observe(cfg.Recorder)
+		e.lim.attachMem(cache.Bytes)
 	}
 	if cache != nil && !cfg.DisableRollup {
 		e.rollups = newRollupStore()
@@ -303,6 +318,23 @@ func (e *evaluator) evalTimed(node lattice.Node, worker int) outcome {
 	return o
 }
 
+// evalSafe wraps evalTimed with panic recovery: a panicking node
+// evaluation (a buggy custom Policy, hostile data tripping an internal
+// invariant) becomes an error outcome for that node instead of killing
+// the process, and the reduction surfaces it exactly like any other
+// node error. The recover here pairs with statsFor's, which must
+// additionally publish the node's roll-up entry so no other worker
+// blocks on it forever.
+func (e *evaluator) evalSafe(node lattice.Node, worker int) (o outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.rec.PanicRecovered()
+			o = outcome{evaluated: true, err: fmt.Errorf("search: node %v: panic recovered: %v", node, r)}
+		}
+	}()
+	return e.evalTimed(node, worker)
+}
+
 // nodeVerdict classifies an outcome from its stats delta: each
 // evaluated node increments exactly one of the prune/scan counters, so
 // the delta plus the ok/err flags fully determine the verdict.
@@ -329,22 +361,34 @@ func nodeVerdict(o outcome) obs.Verdict {
 // first hit in node order, and every node before it is guaranteed to be
 // evaluated, so cancellation can never change the reduced result — it
 // only avoids wasted work.
-func (e *evaluator) run(nodes []lattice.Node, cancelEarly bool) []outcome {
+//
+// The limiter bounds the batch two ways. The node budget truncates it
+// up front to the prefix nodes[:limit] — a property of node order
+// alone, so serial and parallel runs evaluate the same prefix. The
+// time-dependent limits (context, deadline, cache bytes) gate each
+// claim via checkpoint; once tripped, no further node starts, leaving
+// arbitrary gaps the reductions already tolerate. run returns limit so
+// the reduction can tell budget truncation from completion.
+func (e *evaluator) run(nodes []lattice.Node, cancelEarly bool) ([]outcome, int) {
 	n := len(nodes)
 	outs := make([]outcome, n)
-	w := e.cfg.workerCount(n)
+	limit := e.lim.allowance(n)
+	w := e.cfg.workerCount(limit)
 	e.rec.SetPoolSize(w)
 	if w <= 1 {
-		for i, node := range nodes {
-			outs[i] = e.evalTimed(node, 0)
+		for i := 0; i < limit; i++ {
+			if !e.lim.checkpoint() {
+				break
+			}
+			outs[i] = e.evalSafe(nodes[i], 0)
 			if cancelEarly && (outs[i].ok || outs[i].err != nil) {
 				break
 			}
 		}
-		return outs
+		return outs, limit
 	}
 	var next int64
-	barrier := int64(n) // lowest index seen to hit or fail hard
+	barrier := int64(limit) // lowest index seen to hit or fail hard
 	var wg sync.WaitGroup
 	for g := 0; g < w; g++ {
 		wg.Add(1)
@@ -352,13 +396,16 @@ func (e *evaluator) run(nodes []lattice.Node, cancelEarly bool) []outcome {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= n {
+				if i >= limit {
+					return
+				}
+				if !e.lim.checkpoint() {
 					return
 				}
 				if cancelEarly && int64(i) > atomic.LoadInt64(&barrier) {
 					continue
 				}
-				o := e.evalTimed(nodes[i], worker)
+				o := e.evalSafe(nodes[i], worker)
 				outs[i] = o
 				if cancelEarly && (o.ok || o.err != nil) {
 					for {
@@ -372,41 +419,66 @@ func (e *evaluator) run(nodes []lattice.Node, cancelEarly bool) []outcome {
 		}(g)
 	}
 	wg.Wait()
-	return outs
+	return outs, limit
 }
 
 // firstHit returns the index and outcome of the first satisfying node
 // in node order, or index -1. Stats are merged exactly as the serial
 // scan would: deltas accumulate in node order up to and including the
 // first hit (or error); speculative work past it is discarded, so
-// totals are identical at every worker count.
+// totals are identical at every worker count. The node budget is
+// charged with the same consumed count, making budget spend equally
+// scheduling-independent; a truncated batch that found no hit trips
+// StopNodeBudget (a hit inside the prefix means the truncation never
+// mattered).
 func (e *evaluator) firstHit(nodes []lattice.Node, stats *Stats) (int, outcome, error) {
-	outs := e.run(nodes, true)
+	outs, limit := e.run(nodes, true)
+	consumed := 0
 	for i := range outs {
 		o := outs[i]
 		if !o.evaluated {
 			continue
 		}
 		stats.Merge(o.stats)
+		consumed++
 		if o.err != nil {
+			e.lim.charge(consumed)
 			return -1, outcome{}, o.err
 		}
 		if o.ok {
+			e.lim.charge(consumed)
 			return i, o, nil
 		}
+	}
+	e.lim.charge(consumed)
+	if limit < len(nodes) && !e.lim.tripped() {
+		e.lim.trip(StopNodeBudget)
 	}
 	return -1, outcome{}, nil
 }
 
 // evalAll evaluates every node and merges all stats deltas in node
 // order, returning the outcomes (or the first error in node order).
+// Nodes a tripped limiter skipped stay !evaluated in the returned
+// slice; callers treat them as non-satisfying, which keeps partial
+// results valid (everything reported satisfying really was evaluated).
 func (e *evaluator) evalAll(nodes []lattice.Node, stats *Stats) ([]outcome, error) {
-	outs := e.run(nodes, false)
+	outs, limit := e.run(nodes, false)
+	consumed := 0
 	for i := range outs {
+		if !outs[i].evaluated {
+			continue
+		}
 		stats.Merge(outs[i].stats)
+		consumed++
 		if outs[i].err != nil {
+			e.lim.charge(consumed)
 			return nil, outs[i].err
 		}
+	}
+	e.lim.charge(consumed)
+	if limit < len(nodes) && !e.lim.tripped() {
+		e.lim.trip(StopNodeBudget)
 	}
 	return outs, nil
 }

@@ -26,6 +26,12 @@ type ExhaustiveResult struct {
 	// Report is the telemetry snapshot taken when the search finished;
 	// nil unless Config.Recorder was set.
 	Report *obs.Report
+	// StopReason records why the search ended; anything but StopDone
+	// marks a valid best-so-far partial enumeration (every node listed
+	// in Minimal/Satisfying was genuinely evaluated and satisfied, but
+	// nodes the budget skipped may be missing, so minimality is only
+	// relative to the evaluated set).
+	StopReason StopReason
 }
 
 // Exhaustive evaluates every node of the generalization lattice and
@@ -72,6 +78,7 @@ func Exhaustive(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 			}
 		}
 	}
+	res.StopReason = eval.lim.stopReason()
 	res.Report = cfg.Recorder.Snapshot()
 	return res, nil
 }

@@ -53,10 +53,15 @@ func BottomUp(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 			for _, hit := range levelHits {
 				res.Satisfying = append(res.Satisfying, hit.Node)
 			}
+			res.StopReason = eval.lim.stopReason()
 			res.Report = cfg.Recorder.Snapshot()
 			return res, nil
 		}
+		if eval.lim.tripped() {
+			break
+		}
 	}
+	res.StopReason = eval.lim.stopReason()
 	res.Report = cfg.Recorder.Snapshot()
 	return res, nil
 }

@@ -25,6 +25,11 @@ type IncognitoResult struct {
 	// Report is the telemetry snapshot taken when the search finished;
 	// nil unless Config.Recorder was set.
 	Report *obs.Report
+	// StopReason records why the search ended; anything but StopDone
+	// marks a valid best-so-far partial result (nodes in Minimal were
+	// genuinely evaluated and satisfied; subsets or levels the budget
+	// skipped may hide further solutions).
+	StopReason StopReason
 }
 
 // Incognito implements the subset-lattice search of LeFevre, DeWitt and
@@ -65,6 +70,10 @@ func Incognito(im *table.Table, cfg Config) (IncognitoResult, error) {
 		return IncognitoResult{}, fmt.Errorf("search: incognito supports at most 16 quasi-identifiers, got %d", mAttrs)
 	}
 	fullDims := m.Lattice().Dims()
+
+	// One limiter spans every subset pass: the whole strategy call
+	// draws on a single budget, and a trip in any subset stops the rest.
+	lim := cfg.newLimiter()
 
 	// satisfied[mask] is the set of satisfying node keys for the QI
 	// subset encoded by mask (bit i = qis[i] present). Node keys are
@@ -149,8 +158,12 @@ func Incognito(im *table.Table, cfg Config) (IncognitoResult, error) {
 		}
 	}
 
+subsets:
 	for size := 1; size <= mAttrs; size++ {
 		for _, mask := range masks[size] {
+			if lim.tripped() {
+				break subsets
+			}
 			attrs, dims := subsetOf(qis, fullDims, mask)
 			subLat, err := lattice.New(dims)
 			if err != nil {
@@ -163,7 +176,7 @@ func Incognito(im *table.Table, cfg Config) (IncognitoResult, error) {
 				return IncognitoResult{}, err
 			}
 
-			subEval := newEvaluator(im, subMasker, sharedCache, subCfg, bounds)
+			subEval := newLimitedEvaluator(im, subMasker, sharedCache, subCfg, bounds, lim)
 			// Only the final full-QI pass reads masked tables from the
 			// outcomes; smaller subsets exist purely to prune, so their
 			// stats-path evaluations stop at the verdict.
@@ -223,6 +236,9 @@ func Incognito(im *table.Table, cfg Config) (IncognitoResult, error) {
 						tagUp(subLat, node, tagged)
 					}
 				}
+				if lim.tripped() {
+					break
+				}
 			}
 			res.SubsetsEvaluated++
 			if size == mAttrs {
@@ -231,6 +247,7 @@ func Incognito(im *table.Table, cfg Config) (IncognitoResult, error) {
 			}
 		}
 	}
+	res.StopReason = lim.stopReason()
 	res.Report = cfg.Recorder.Snapshot()
 	return res, nil
 }

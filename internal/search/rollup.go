@@ -131,7 +131,20 @@ func (e *evaluator) statsFor(node lattice.Node) (*table.GroupStats, error) {
 		<-entry.done
 		return entry.stats, entry.err
 	}
+	// The creator owns the computation and must publish the entry even
+	// if the computation panics — otherwise every worker waiting on
+	// entry.done would block forever and the pool could never drain. The
+	// panic is re-raised after publishing; evalSafe turns it into this
+	// node's error outcome, while the waiters see the recorded error.
+	finished := false
+	defer func() {
+		if !finished {
+			err := fmt.Errorf("search: rollup stats for node %v: computation panicked", node)
+			e.rollups.finish(entry, nil, err)
+		}
+	}()
 	stats, err := e.computeStats(node)
+	finished = true
 	e.rollups.finish(entry, stats, err)
 	return stats, err
 }

@@ -63,9 +63,18 @@ func Samarati(im *table.Table, cfg Config) (Result, error) {
 			return Result{}, err
 		}
 		if r != nil {
+			// A hit is a genuinely satisfying node even when the probe was
+			// budget-truncated, so record it before checking the limiter.
 			found = r
 			high = try
-		} else {
+		}
+		if eval.lim.tripped() {
+			// The probe stopped early: a "no hit" verdict is unreliable, so
+			// neither bound may move on it. Return the best-so-far instead
+			// of descending on bad information.
+			break
+		}
+		if r == nil {
 			low = try + 1
 		}
 	}
@@ -73,7 +82,7 @@ func Samarati(im *table.Table, cfg Config) (Result, error) {
 	// probe was exactly at this height we already have the answer;
 	// otherwise probe it (covers both the "never probed" and the
 	// "nothing satisfies anywhere" cases).
-	if found == nil || found.Node.Height() != low {
+	if !eval.lim.tripped() && (found == nil || found.Node.Height() != low) {
 		r, err := eval.firstAtHeight(lat, low, &res.Stats)
 		if err != nil {
 			return Result{}, err
@@ -82,11 +91,13 @@ func Samarati(im *table.Table, cfg Config) (Result, error) {
 			found = r
 		}
 	}
+	res.StopReason = eval.lim.stopReason()
 	if found == nil {
 		res.Report = cfg.Recorder.Snapshot()
 		return res, nil
 	}
 	found.Stats = res.Stats
+	found.StopReason = res.StopReason
 	found.Report = cfg.Recorder.Snapshot()
 	return *found, nil
 }

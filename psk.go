@@ -1,6 +1,7 @@
 package psk
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -192,6 +193,14 @@ type Config struct {
 	// Tracer, when non-nil, streams one JSONL event per evaluated
 	// lattice node. See NewTracer.
 	Tracer *Tracer
+	// Context, when non-nil, cancels the search: once Done, no further
+	// lattice node starts evaluating and the result is the valid
+	// best-so-far partial state tagged StopCancelled.
+	Context context.Context
+	// Budget bounds the search by wall-clock deadline, lattice nodes
+	// consumed and cache memory; see Budget. The zero value is
+	// unlimited.
+	Budget Budget
 }
 
 // DefaultWorkers returns the recommended Config.Workers value for
@@ -211,8 +220,34 @@ func (c Config) searchConfig() search.Config {
 		Workers:       c.Workers,
 		Recorder:      c.Recorder,
 		Tracer:        c.Tracer,
+		Context:       c.Context,
+		Budget:        c.Budget,
 	}
 }
+
+// Budget bounds a search by wall-clock deadline, lattice nodes
+// consumed and generalized-column cache bytes; the zero value is
+// unlimited. See the search package for the deterministic partial-
+// result guarantees each limit carries.
+type Budget = search.Budget
+
+// StopReason explains how a search ended; StopDone marks a complete
+// run, anything else a valid best-so-far partial result.
+type StopReason = search.StopReason
+
+// Search termination causes (Result.StopReason).
+const (
+	// StopDone: the search ran to completion.
+	StopDone = search.StopDone
+	// StopDeadline: Budget.Deadline elapsed.
+	StopDeadline = search.StopDeadline
+	// StopNodeBudget: Budget.MaxNodes was consumed.
+	StopNodeBudget = search.StopNodeBudget
+	// StopMemBudget: the column cache exceeded Budget.MaxCacheBytes.
+	StopMemBudget = search.StopMemBudget
+	// StopCancelled: Config.Context was cancelled.
+	StopCancelled = search.StopCancelled
+)
 
 // Result is the outcome of Anonymize.
 type Result struct {
@@ -231,6 +266,10 @@ type Result struct {
 	// Report is the telemetry snapshot of the search; nil unless
 	// Config.Recorder was set.
 	Report *Report
+	// StopReason records why the search ended: StopDone for a complete
+	// run, otherwise the context/budget limit that tripped first — the
+	// rest of the result is then the valid best-so-far partial state.
+	StopReason StopReason
 }
 
 // Anonymize searches the generalization lattice for a p-k-minimal
@@ -243,7 +282,7 @@ func Anonymize(im *Table, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Found: r.Found, Node: r.Node, Masked: r.Masked, Suppressed: r.Suppressed, Report: r.Report}, nil
+		return &Result{Found: r.Found, Node: r.Node, Masked: r.Masked, Suppressed: r.Suppressed, Report: r.Report, StopReason: r.StopReason}, nil
 	case AlgorithmBottomUp:
 		r, err := search.BottomUp(im, cfg.searchConfig())
 		if err != nil {
@@ -262,7 +301,7 @@ func Anonymize(im *Table, cfg Config) (*Result, error) {
 }
 
 func exhaustiveResult(r search.ExhaustiveResult) *Result {
-	out := &Result{Report: r.Report}
+	out := &Result{Report: r.Report, StopReason: r.StopReason}
 	if len(r.Minimal) == 0 {
 		return out
 	}
@@ -479,7 +518,7 @@ func AnonymizeIncognito(im *Table, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Report: r.Report}
+	out := &Result{Report: r.Report, StopReason: r.StopReason}
 	if len(r.Minimal) == 0 {
 		return out, nil
 	}

@@ -9,6 +9,9 @@ GO ?= go
 # Allowed fractional ns/op regression before bench-compare fails
 # (0.15 = +15%), and the per-target budget of the fuzz smoke run.
 BENCH_TOLERANCE ?= 0.15
+# The scale benchmarks run single-iteration over millions of rows, so
+# their snapshot comparison gets a looser gate than the microbenchmarks.
+SCALE_TOLERANCE ?= 0.50
 FUZZTIME ?= 30s
 
 # Statement-coverage ratchet for `make cover`: set just below the
@@ -16,7 +19,7 @@ FUZZTIME ?= 30s
 # genuinely improves; never lower it to admit a regression.
 COVERAGE_FLOOR ?= 84.0
 
-.PHONY: check vet build test race bench bench-json bench-compare fuzz-smoke cover
+.PHONY: check vet build test race bench bench-json bench-scale bench-compare fuzz-smoke cover
 
 check: vet build race bench
 
@@ -32,8 +35,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# -short keeps BenchmarkScale on its ~100k-row smoke tier here, so the
+# chunked/packed scale path is exercised on every `make check` without
+# paying for the 1M/10M tiers (those run in `make bench-scale`).
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench . -benchtime 1x -short ./...
 
 # bench-json snapshots the roll-up benchmark (ns/op and allocs/op per
 # variant) into BENCH_rollup.json, the committed record of the roll-up
@@ -53,6 +59,15 @@ bench-json:
 	$(GO) test -run '^$$' -bench '^BenchmarkParallelSearch$$' -benchmem -benchtime 10x . \
 		| $(GO) run ./cmd/benchjson > BENCH_parallel.json
 
+# bench-scale snapshots the scale benchmark — base-scan and Samarati
+# ns/row + allocs/row on the 48,842-row Adult shape x2/x20/x205
+# (~100k/1M/10M rows), packed kernel vs the rowwise reference — into
+# BENCH_scale.json, the committed proof that the columnar substrate
+# stays flat per row as data grows.
+bench-scale:
+	$(GO) test -run '^$$' -bench '^BenchmarkScale$$' -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson > BENCH_scale.json
+
 # bench-compare reruns the gauntlet benchmarks and fails when any
 # regresses its committed BENCH_*.json ns/op by more than
 # BENCH_TOLERANCE — the CI bench-regression job runs exactly this, so
@@ -65,6 +80,8 @@ bench-compare:
 		| $(GO) run ./cmd/benchjson -compare BENCH_policy.json -tolerance $(BENCH_TOLERANCE)
 	$(GO) test -run '^$$' -bench '^BenchmarkObsOverhead$$' -benchmem -benchtime 10x . \
 		| $(GO) run ./cmd/benchjson -compare BENCH_obs.json -tolerance $(BENCH_TOLERANCE)
+	$(GO) test -run '^$$' -bench '^BenchmarkScale$$' -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -compare BENCH_scale.json -tolerance $(SCALE_TOLERANCE)
 
 # fuzz-smoke gives each native fuzz target FUZZTIME of coverage-guided
 # input generation on top of its committed seed corpus: the loaders

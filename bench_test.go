@@ -9,6 +9,7 @@ package psk
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"psk/internal/core"
@@ -853,6 +854,100 @@ func BenchmarkPolicy(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkScale proves the columnar substrate at production scale on
+// the full 48,842-row Adult shape times 2 / 20 / 205 (~100k / ~1M /
+// ~10M rows, dataset.GenerateScaled). BaseScan measures the verdict
+// substrate itself — one GroupStats pass over all four QIs and all
+// four confidential attributes — through the chunked packed kernel
+// (Packed) and the retained per-row reference kernel (Rowwise), whose
+// ratio is the packed substrate's win. Samarati runs the whole search
+// at ~100k and ~1M rows. Every sub-benchmark reports ns/row and
+// allocs/row, the two numbers that must stay flat as rows grow;
+// `make bench-scale` snapshots them into BENCH_scale.json and the CI
+// bench-regression job compares against it. Under -short (the `make
+// check` smoke run) only the ~100k tier runs.
+func BenchmarkScale(b *testing.B) {
+	factors := []int{2, 20, 205}
+	if testing.Short() {
+		factors = factors[:1]
+	}
+	hs, err := dataset.Hierarchies()
+	if err != nil {
+		b.Fatal(err)
+	}
+	qis, conf := dataset.QIs(), dataset.Confidential()
+	for _, factor := range factors {
+		im, err := dataset.GenerateScaled(factor, 2006)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := im.NumRows()
+		b.Run(fmt.Sprintf("BaseScan/Packed/x%d", factor), func(b *testing.B) {
+			benchPerRow(b, rows, func() error {
+				s, err := im.GroupStats(qis, conf, 1)
+				if err == nil && s.NumGroups() == 0 {
+					return fmt.Errorf("no groups")
+				}
+				return err
+			})
+		})
+		b.Run(fmt.Sprintf("BaseScan/Rowwise/x%d", factor), func(b *testing.B) {
+			benchPerRow(b, rows, func() error {
+				s, err := im.GroupStatsRowwise(qis, conf, 1)
+				if err == nil && s.NumGroups() == 0 {
+					return fmt.Errorf("no groups")
+				}
+				return err
+			})
+		})
+		if factor > 20 {
+			// The ~10M tier exercises the base scan only; the full
+			// search is proven at ~1M and its cost there bounds the
+			// per-node work, which the roll-up layer makes row-free
+			// past the base scan anyway.
+			continue
+		}
+		cfg := search.Config{
+			QIs:           qis,
+			Confidential:  conf,
+			Hierarchies:   hs,
+			K:             10,
+			P:             2,
+			MaxSuppress:   rows / 100,
+			UseConditions: true,
+		}
+		b.Run(fmt.Sprintf("Samarati/x%d", factor), func(b *testing.B) {
+			benchPerRow(b, rows, func() error {
+				res, err := search.Samarati(im, cfg)
+				if err == nil && !res.Found {
+					return fmt.Errorf("found nothing")
+				}
+				return err
+			})
+		})
+	}
+}
+
+// benchPerRow runs fn b.N times and reports ns/row and allocs/row on
+// top of the standard per-op numbers, so scale benchmarks are
+// comparable across row counts.
+func benchPerRow(b *testing.B, rows int, fn func() error) {
+	b.Helper()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	perRow := float64(b.N) * float64(rows)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/perRow, "ns/row")
+	b.ReportMetric(float64(after.Mallocs-before.Mallocs)/perRow, "allocs/row")
 }
 
 // BenchmarkObsOverhead measures what the telemetry layer costs the

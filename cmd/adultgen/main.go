@@ -6,6 +6,7 @@
 // Usage:
 //
 //	adultgen -n 4000 -seed 2006 -out adult.csv
+//	adultgen -scale 20 -seed 2006 -out adult_1m.csv   # 48,842-row shape x 20
 package main
 
 import (

@@ -16,6 +16,7 @@ import (
 	"psk"
 	"psk/internal/config"
 	"psk/internal/dataset"
+	"psk/internal/table"
 )
 
 // policyFlags are the optional policy-composition flags shared by
@@ -358,9 +359,10 @@ func Gen(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("adultgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		n    = fs.Int("n", 4000, "number of records")
-		seed = fs.Int64("seed", 2006, "generator seed")
-		out  = fs.String("out", "", "output CSV file (default: stdout)")
+		n     = fs.Int("n", 4000, "number of records")
+		scale = fs.Int("scale", 0, "emit the full 48,842-row Adult shape times this factor (overrides -n)")
+		seed  = fs.Int64("seed", 2006, "generator seed")
+		out   = fs.String("out", "", "output CSV file (default: stdout)")
 	)
 	prof := registerProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -371,7 +373,12 @@ func Gen(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	defer stopProf()
-	tbl, err := dataset.Generate(*n, *seed)
+	var tbl *table.Table
+	if *scale > 0 {
+		tbl, err = dataset.GenerateScaled(*scale, *seed)
+	} else {
+		tbl, err = dataset.Generate(*n, *seed)
+	}
 	if err != nil {
 		return err
 	}

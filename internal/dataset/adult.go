@@ -157,6 +157,96 @@ func Generate(n int, seed int64) (*table.Table, error) {
 	return b.Build()
 }
 
+// AdultRows is the record count of the full UCI Adult release
+// (training + test split), the unit of GenerateScaled's replication.
+const AdultRows = 48842
+
+// scalePerturb is the per-field probability that a replicated record's
+// categorical or confidential field is redrawn from its marginal
+// distribution instead of copied, so replicas stay distribution-true
+// without being row-for-row duplicates.
+const scalePerturb = 0.05
+
+// GenerateScaled produces the full 48,842-row Adult shape times factor,
+// deterministic for a given seed: one synthetic base population of
+// AdultRows records, then factor-1 perturbed replicas of it. Each
+// replica row jitters the age by up to ±2 years (clamped to the 17..90
+// hierarchy domain) and redraws every other field with probability
+// scalePerturb, which preserves the marginal distributions and the
+// generalization-hierarchy domains at every scale — the substrate the
+// scale benchmarks and tests run on.
+func GenerateScaled(factor int, seed int64) (*table.Table, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("dataset: scale factor %d < 1", factor)
+	}
+	r := rand.New(rand.NewSource(seed))
+	b, err := table.NewBuilder(Schema())
+	if err != nil {
+		return nil, err
+	}
+	type record struct {
+		age, gain, loss, tax    int64
+		marital, race, sex, pay string
+	}
+	base := make([]record, AdultRows)
+	for i := range base {
+		age := sampleAge(r)
+		pay := samplePay(r, age)
+		base[i] = record{
+			age:     age,
+			gain:    sampleGain(r, pay),
+			loss:    sampleLoss(r),
+			tax:     sampleTaxPeriod(r),
+			marital: maritalDist.sample(r),
+			race:    raceDist.sample(r),
+			sex:     sexDist.sample(r),
+			pay:     pay,
+		}
+		rec := &base[i]
+		b.Append(
+			table.IV(rec.age), table.SV(rec.marital), table.SV(rec.race), table.SV(rec.sex),
+			table.SV(rec.pay), table.IV(rec.gain), table.IV(rec.loss), table.IV(rec.tax),
+		)
+	}
+	for c := 1; c < factor; c++ {
+		for i := range base {
+			rec := base[i]
+			rec.age += int64(r.Intn(5)) - 2
+			if rec.age < 17 {
+				rec.age = 17
+			} else if rec.age > 90 {
+				rec.age = 90
+			}
+			if r.Float64() < scalePerturb {
+				rec.marital = maritalDist.sample(r)
+			}
+			if r.Float64() < scalePerturb {
+				rec.race = raceDist.sample(r)
+			}
+			if r.Float64() < scalePerturb {
+				rec.sex = sexDist.sample(r)
+			}
+			if r.Float64() < scalePerturb {
+				rec.pay = samplePay(r, rec.age)
+			}
+			if r.Float64() < scalePerturb {
+				rec.gain = sampleGain(r, rec.pay)
+			}
+			if r.Float64() < scalePerturb {
+				rec.loss = sampleLoss(r)
+			}
+			if r.Float64() < scalePerturb {
+				rec.tax = sampleTaxPeriod(r)
+			}
+			b.Append(
+				table.IV(rec.age), table.SV(rec.marital), table.SV(rec.race), table.SV(rec.sex),
+				table.SV(rec.pay), table.IV(rec.gain), table.IV(rec.loss), table.IV(rec.tax),
+			)
+		}
+	}
+	return b.Build()
+}
+
 // sampleAge draws from a right-skewed 17..90 distribution approximating
 // Adult's age histogram (median ~37, thin tail past 70).
 func sampleAge(r *rand.Rand) int64 {

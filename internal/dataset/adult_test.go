@@ -51,6 +51,70 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
+// TestGenerateScaled pins the scale-up mode: factor x AdultRows rows,
+// deterministic per seed, replicas perturbed but still inside the
+// generalization-hierarchy domains.
+func TestGenerateScaled(t *testing.T) {
+	tbl, err := GenerateScaled(2, 11)
+	if err != nil {
+		t.Fatalf("GenerateScaled: %v", err)
+	}
+	if got, want := tbl.NumRows(), 2*AdultRows; got != want {
+		t.Fatalf("rows = %d, want %d", got, want)
+	}
+	again, err := GenerateScaled(2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < tbl.NumRows(); r += 4999 {
+		x, _ := tbl.Row(r)
+		y, _ := again.Row(r)
+		for c := range x {
+			if !x[c].Equal(y[c]) {
+				t.Fatalf("same-seed scaled rows differ at %d", r)
+			}
+		}
+	}
+	// The replica must be a perturbation, not a copy, of the base
+	// population.
+	differ := 0
+	for r := 0; r < AdultRows; r += 97 {
+		x, _ := tbl.Row(r)
+		y, _ := tbl.Row(r + AdultRows)
+		for c := range x {
+			if !x[c].Equal(y[c]) {
+				differ++
+				break
+			}
+		}
+	}
+	if differ == 0 {
+		t.Error("replica rows are identical to the base population")
+	}
+	// Every value the scaled table holds must still generalize: the
+	// hierarchies cover the perturbed domains.
+	hs, err := Hierarchies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ground := make(map[string][]string)
+	for _, attr := range QIs() {
+		vc, err := tbl.ValueCounts(attr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vc {
+			ground[attr] = append(ground[attr], v.Value.Str())
+		}
+	}
+	if err := hs.Validate(ground); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if _, err := GenerateScaled(0, 1); err == nil {
+		t.Error("zero factor accepted")
+	}
+}
+
 // TestGenerateMarginals checks the synthetic marginals stay within
 // loose tolerances of the published UCI Adult statistics — what the
 // DESIGN.md substitution promises.

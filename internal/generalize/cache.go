@@ -100,7 +100,11 @@ func (c *Cache) Column(attr string, level int) (table.Column, error) {
 			e.err = fmt.Errorf("generalize: %w", err)
 			return
 		}
-		e.col, e.err = c.src.MappedColumn(attr, func(v table.Value) (string, error) {
+		// RemappedColumn applies the hierarchy walk once per distinct
+		// source value and translates the packed code stream block-wise
+		// — no per-row string is materialized, and the built column is
+		// bit-packed from the start.
+		e.col, e.err = c.src.RemappedColumn(attr, func(v table.Value) (string, error) {
 			return h.Generalize(v.Str(), level)
 		})
 		if e.err != nil {

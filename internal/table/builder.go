@@ -65,9 +65,17 @@ func (b *Builder) AppendText(row ...string) {
 func (b *Builder) Len() int { return b.nrows }
 
 // Build finalizes the table. The builder must not be used afterwards.
+// Columns are frozen into their read-optimized form (bit-packed
+// dictionary codes) here, before the table can be shared across
+// goroutines.
 func (b *Builder) Build() (*Table, error) {
 	if b.err != nil {
 		return nil, b.err
+	}
+	for _, c := range b.cols {
+		if f, ok := c.(freezer); ok {
+			f.freeze()
+		}
 	}
 	return &Table{schema: b.schema, cols: b.cols, nrows: b.nrows}, nil
 }

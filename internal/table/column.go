@@ -2,6 +2,8 @@ package table
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"strconv"
 	"sync"
 )
@@ -27,6 +29,16 @@ type Column interface {
 	Code(i int) int
 }
 
+// CodeReader is an optional Column capability: bulk access to the
+// dictionary codes of a row range. Hot loops (group-by kernels, code
+// remapping) read codes a block at a time through it instead of paying
+// a dynamic dispatch per row; frozen string columns serve it straight
+// from their bit-packed stream.
+type CodeReader interface {
+	// Codes appends the codes of rows [lo, hi) to dst and returns it.
+	Codes(dst []uint32, lo, hi int) []uint32
+}
+
 // codeRanger is an optional Column capability: columns that know an
 // inclusive [lo, hi] range containing every code report it, which lets
 // GroupBy and NumGroups pack multi-column keys into a single uint64
@@ -41,6 +53,14 @@ type codeRanger interface {
 // memory to freshly built generalized columns.
 type memSizer interface {
 	memBytes() int64
+}
+
+// freezer is an optional Column capability: seal the column into its
+// immutable read-optimized form (bit-packed codes). Builder.Build and
+// the column-assembly paths call it; appending to a frozen column
+// transparently unfreezes it first.
+type freezer interface {
+	freeze()
 }
 
 // MemBytes estimates the heap memory held by a column: backing slices
@@ -59,7 +79,7 @@ func NewColumn(t Type) Column {
 	case Int:
 		return &intColumn{}
 	case Float:
-		return &floatColumn{}
+		return newFloatColumn()
 	default:
 		return newStringColumn()
 	}
@@ -68,10 +88,26 @@ func NewColumn(t Type) Column {
 // stringColumn stores categorical data dictionary-encoded: the dict holds
 // each distinct string once, codes index into it. Group-by and frequency
 // counting operate on codes, never on string bytes.
+//
+// The column has two storage states. While being built, codes live in a
+// plain []int32. freeze() — called by Builder.Build and every derived-
+// column constructor — packs them to ceil(log2(len(dict))) bits per row
+// (packedCodes), the form every read path serves from. Appending to a
+// frozen column unfreezes it first; that round-trip is exact.
 type stringColumn struct {
 	dict  []string
 	index map[string]int32
 	codes []int32
+
+	frozen bool
+	packed packedCodes
+
+	// sharedDict marks dict/index as borrowed from another column
+	// (Gather shares them — the dictionary is append-only, so sharing
+	// is safe for readers). The first append of a value absent from the
+	// dictionary clones both before writing, so the lender never
+	// observes the mutation.
+	sharedDict bool
 }
 
 func newStringColumn() *stringColumn {
@@ -79,17 +115,49 @@ func newStringColumn() *stringColumn {
 }
 
 func (c *stringColumn) Type() Type { return String }
-func (c *stringColumn) Len() int   { return len(c.codes) }
 
-func (c *stringColumn) Value(i int) Value { return SV(c.dict[c.codes[i]]) }
+func (c *stringColumn) Len() int {
+	if c.frozen {
+		return c.packed.n
+	}
+	return len(c.codes)
+}
 
-func (c *stringColumn) Code(i int) int { return int(c.codes[i]) }
+func (c *stringColumn) Value(i int) Value { return SV(c.dict[c.Code(i)]) }
 
-// Cardinality reports the number of distinct values ever appended.
+func (c *stringColumn) Code(i int) int {
+	if c.frozen {
+		return int(c.packed.get(i))
+	}
+	return int(c.codes[i])
+}
+
+// Codes implements CodeReader.
+func (c *stringColumn) Codes(dst []uint32, lo, hi int) []uint32 {
+	if c.frozen {
+		return c.packed.appendRange(dst, lo, hi)
+	}
+	for _, code := range c.codes[lo:hi] {
+		dst = append(dst, uint32(code))
+	}
+	return dst
+}
+
+// codes32 is Codes into int32 scratch, for the internal kernels.
+func (c *stringColumn) codes32(dst []int32, lo, hi int) []int32 {
+	if c.frozen {
+		return c.packed.appendRange32(dst, lo, hi)
+	}
+	return append(dst, c.codes[lo:hi]...)
+}
+
+// Cardinality reports the number of distinct values in the dictionary.
+// For a column whose dictionary is shared with a parent (Gather), this
+// may exceed the number of distinct values actually present in rows.
 func (c *stringColumn) Cardinality() int { return len(c.dict) }
 
 func (c *stringColumn) memBytes() int64 {
-	n := int64(len(c.codes)) * 4
+	n := int64(len(c.codes))*4 + c.packed.memBytes()
 	for _, s := range c.dict {
 		// string bytes + header, counted twice: once in dict, once as
 		// an index key.
@@ -106,14 +174,50 @@ func (c *stringColumn) CodeRange() (int, int, bool) {
 	return 0, len(c.dict) - 1, true
 }
 
-func (c *stringColumn) append(s string) {
-	code, ok := c.index[s]
-	if !ok {
-		code = int32(len(c.dict))
-		c.dict = append(c.dict, s)
-		c.index[s] = code
+func (c *stringColumn) freeze() {
+	if c.frozen {
+		return
 	}
-	c.codes = append(c.codes, code)
+	c.packed = packCodes(c.codes, len(c.dict))
+	c.codes = nil
+	c.frozen = true
+}
+
+func (c *stringColumn) unfreeze() {
+	c.codes = c.packed.unpack()
+	c.packed = packedCodes{}
+	c.frozen = false
+}
+
+// intern returns the code for s, adding it to the dictionary if absent.
+func (c *stringColumn) intern(s string) int32 {
+	code, ok := c.index[s]
+	if ok {
+		return code
+	}
+	if c.sharedDict {
+		// Copy-on-write: never grow a borrowed dictionary in place —
+		// two borrowers appending would race on the shared backing
+		// array even though each keeps its own length.
+		c.dict = append([]string(nil), c.dict...)
+		index := make(map[string]int32, len(c.index)+1)
+		for k, v := range c.index {
+			index[k] = v
+		}
+		c.index = index
+		c.sharedDict = false
+	}
+	code = int32(len(c.dict))
+	c.dict = append(c.dict, s)
+	c.index[s] = code
+	return code
+}
+
+func (c *stringColumn) append(s string) {
+	if c.frozen {
+		c.unfreeze()
+	}
+	c.codes = append(c.codes, c.intern(s))
 }
 
 func (c *stringColumn) AppendValue(v Value) error {
@@ -126,11 +230,23 @@ func (c *stringColumn) AppendText(s string) error {
 	return nil
 }
 
+// Gather shares the dictionary with the source (it is append-only) and
+// copies only the selected rows' codes, so a gather costs O(rows)
+// regardless of dictionary size. The gathered dictionary may contain
+// values no selected row holds; code semantics are unaffected.
 func (c *stringColumn) Gather(rows []int) Column {
-	out := newStringColumn()
-	for _, r := range rows {
-		out.append(c.dict[c.codes[r]])
+	out := &stringColumn{dict: c.dict, index: c.index, sharedDict: true}
+	out.codes = make([]int32, 0, len(rows))
+	if c.frozen {
+		for _, r := range rows {
+			out.codes = append(out.codes, int32(c.packed.get(r)))
+		}
+	} else {
+		for _, r := range rows {
+			out.codes = append(out.codes, c.codes[r])
+		}
 	}
+	out.freeze()
 	return out
 }
 
@@ -142,6 +258,76 @@ type intColumn struct {
 	// a shared table; columns are immutable once the table is built.
 	rangeOnce sync.Once
 	lo, hi    int64
+
+	// Distinct-value dictionary, computed lazily on first use by the
+	// chunked group-stats kernel and code remapping (same immutability
+	// argument as rangeOnce).
+	dictOnce sync.Once
+	dict     *intDict
+}
+
+// intDict enumerates an int column's distinct values in ascending
+// order; a value's id is its rank. Lookup is a flat array when the
+// value span is modest, a map otherwise.
+type intDict struct {
+	vals  []int64
+	lo    int64
+	dense []int32 // value-lo -> id+1 (0 = absent), when span fits
+	byVal map[int64]int32
+}
+
+// intDictMaxSpan caps the dense lookup (and presence-scan) span; wider
+// ranges fall back to map-based construction and lookup.
+const intDictMaxSpan = 1 << 20
+
+func (c *intColumn) intDict() *intDict {
+	c.dictOnce.Do(func() {
+		d := &intDict{}
+		if len(c.vals) == 0 {
+			c.dict = d
+			return
+		}
+		lo, hi, _ := c.CodeRange()
+		span := int64(hi) - int64(lo) + 1
+		if span <= intDictMaxSpan {
+			d.lo = int64(lo)
+			d.dense = make([]int32, span)
+			for _, v := range c.vals {
+				d.dense[v-d.lo] = 1
+			}
+			for i, present := range d.dense {
+				if present != 0 {
+					d.dense[i] = int32(len(d.vals)) + 1
+					d.vals = append(d.vals, d.lo+int64(i))
+				}
+			}
+		} else {
+			d.byVal = make(map[int64]int32)
+			for _, v := range c.vals {
+				if _, ok := d.byVal[v]; !ok {
+					d.byVal[v] = 0
+				}
+			}
+			d.vals = make([]int64, 0, len(d.byVal))
+			for v := range d.byVal {
+				d.vals = append(d.vals, v)
+			}
+			sort.Slice(d.vals, func(i, j int) bool { return d.vals[i] < d.vals[j] })
+			for i, v := range d.vals {
+				d.byVal[v] = int32(i)
+			}
+		}
+		c.dict = d
+	})
+	return c.dict
+}
+
+// id returns the rank of v, which must be present in the column.
+func (d *intDict) id(v int64) int32 {
+	if d.dense != nil {
+		return d.dense[v-d.lo] - 1
+	}
+	return d.byVal[v]
 }
 
 func (c *intColumn) memBytes() int64 { return int64(len(c.vals)) * 8 }
@@ -196,23 +382,73 @@ func (c *intColumn) Gather(rows []int) Column {
 	return out
 }
 
+// floatColumn stores floats dictionary-encoded like strings: vals keeps
+// every row's payload (so Value round-trips bit-exactly, -0.0
+// included), codes identify rows with equal values via a distinct-value
+// dictionary. The former code scheme — int64(v*1e6) — collided distinct
+// small values and overflowed on large magnitudes; dictionary codes
+// cannot.
 type floatColumn struct {
-	vals []float64
+	vals  []float64
+	dict  []float64
+	index map[float64]int32
+	codes []int32
+	// nanCode interns NaN, which map lookups can't (NaN != NaN): every
+	// NaN row shares one code, matching the numeric-comparison notion of
+	// a single missing-value class the old scheme had.
+	nanCode int32
 }
 
-func (c *floatColumn) memBytes() int64 { return int64(len(c.vals)) * 8 }
+func newFloatColumn() *floatColumn { return &floatColumn{nanCode: -1} }
+
+func (c *floatColumn) memBytes() int64 {
+	return int64(len(c.vals))*8 + int64(len(c.dict))*8 + int64(len(c.codes))*4
+}
 
 func (c *floatColumn) Type() Type        { return Float }
 func (c *floatColumn) Len() int          { return len(c.vals) }
 func (c *floatColumn) Value(i int) Value { return FV(c.vals[i]) }
 
-func (c *floatColumn) Code(i int) int { return int(int64(c.vals[i] * 1e6)) }
+func (c *floatColumn) Code(i int) int { return int(c.codes[i]) }
+
+// CodeRange: dictionary codes are dense in [0, len(dict)), which admits
+// float confidential attributes to the packed group-by key path.
+func (c *floatColumn) CodeRange() (int, int, bool) {
+	if len(c.dict) == 0 {
+		return 0, 0, false
+	}
+	return 0, len(c.dict) - 1, true
+}
+
+func (c *floatColumn) append(f float64) {
+	if c.index == nil {
+		c.index = make(map[float64]int32)
+	}
+	var code int32
+	if math.IsNaN(f) {
+		if c.nanCode < 0 {
+			c.nanCode = int32(len(c.dict))
+			c.dict = append(c.dict, f)
+		}
+		code = c.nanCode
+	} else {
+		var ok bool
+		code, ok = c.index[f]
+		if !ok {
+			code = int32(len(c.dict))
+			c.dict = append(c.dict, f)
+			c.index[f] = code
+		}
+	}
+	c.vals = append(c.vals, f)
+	c.codes = append(c.codes, code)
+}
 
 func (c *floatColumn) AppendValue(v Value) error {
 	if v.Kind() == String {
 		return c.AppendText(v.Str())
 	}
-	c.vals = append(c.vals, v.Float())
+	c.append(v.Float())
 	return nil
 }
 
@@ -221,14 +457,14 @@ func (c *floatColumn) AppendText(s string) error {
 	if err != nil {
 		return fmt.Errorf("table: cannot parse %q as float: %w", s, err)
 	}
-	c.vals = append(c.vals, f)
+	c.append(f)
 	return nil
 }
 
 func (c *floatColumn) Gather(rows []int) Column {
-	out := &floatColumn{vals: make([]float64, 0, len(rows))}
+	out := newFloatColumn()
 	for _, r := range rows {
-		out.vals = append(out.vals, c.vals[r])
+		out.append(c.vals[r])
 	}
 	return out
 }

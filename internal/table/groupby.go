@@ -34,10 +34,16 @@ func (g Group) KeyString() string {
 // single uint64 key: key = sum_i (code_i - off_i) * stride_i. A plan
 // exists only when every key column reports a code range and the ranges'
 // product fits in a uint64 (mixed-radix positional encoding, so distinct
-// code tuples map to distinct keys).
+// code tuples map to distinct keys). The encoding is invertible —
+// code_i = off_i + (key / stride_i) mod span_i — which is how the
+// chunked stats kernel recovers group codes without touching rows.
 type packPlan struct {
 	offs    []int
 	strides []uint64
+	spans   []uint64
+	// span is the total key-space size (the product of the per-column
+	// spans); keys lie in [0, span).
+	span uint64
 }
 
 // packedPlan builds the uint64 packing plan for the key columns, or
@@ -46,6 +52,7 @@ type packPlan struct {
 func packedPlan(cols []Column) (packPlan, bool) {
 	offs := make([]int, len(cols))
 	strides := make([]uint64, len(cols))
+	spans := make([]uint64, len(cols))
 	stride := uint64(1)
 	for i, c := range cols {
 		cr, ok := c.(codeRanger)
@@ -62,9 +69,10 @@ func packedPlan(cols []Column) (packPlan, bool) {
 		}
 		offs[i] = lo
 		strides[i] = stride
+		spans[i] = span
 		stride *= span
 	}
-	return packPlan{offs: offs, strides: strides}, true
+	return packPlan{offs: offs, strides: strides, spans: spans, span: stride}, true
 }
 
 // key packs row r's codes per the plan.
@@ -74,6 +82,49 @@ func (p packPlan) key(cols []Column, r int) uint64 {
 		k += uint64(c.Code(r)-p.offs[i]) * p.strides[i]
 	}
 	return k
+}
+
+// codes inverts a packed key back into per-column codes.
+func (p packPlan) codes(k uint64, dst []int) {
+	for i := range dst {
+		dst[i] = p.offs[i] + int((k/p.strides[i])%p.spans[i])
+	}
+}
+
+// blockKeys computes the packed keys of rows [lo, hi) into
+// keys[0 : hi-lo], reading each column's codes in bulk: packed string
+// columns stream out of their bit-packed words, int and float columns
+// out of their backing arrays — no per-row interface call. scratch must
+// have capacity for hi-lo codes.
+func (p packPlan) blockKeys(cols []Column, lo, hi int, keys []uint64, scratch []int32) {
+	n := hi - lo
+	keys = keys[:n]
+	for j := range keys {
+		keys[j] = 0
+	}
+	for i, c := range cols {
+		off, stride := p.offs[i], p.strides[i]
+		switch col := c.(type) {
+		case *stringColumn:
+			scratch = col.codes32(scratch[:0], lo, hi)
+			for j, v := range scratch {
+				keys[j] += uint64(int(v)-off) * stride
+			}
+		case *intColumn:
+			o := int64(off)
+			for j, v := range col.vals[lo:hi] {
+				keys[j] += uint64(v-o) * stride
+			}
+		case *floatColumn:
+			for j, v := range col.codes[lo:hi] {
+				keys[j] += uint64(int(v)-off) * stride
+			}
+		default:
+			for j := 0; j < n; j++ {
+				keys[j] += uint64(c.Code(lo+j)-off) * stride
+			}
+		}
+	}
 }
 
 // groupHint sizes the group-index maps of GroupBy, NumGroups and
@@ -94,9 +145,10 @@ func groupHint(nrows int) int {
 // paper's "SELECT COUNT(*) ... GROUP BY key attributes" checks.
 //
 // When every key column's code cardinality is known and their product
-// fits in a machine word, rows are hashed through a packed uint64 key
-// and an int-keyed map; otherwise the varint byte-string key is used.
-// Both paths produce identical groups in identical order
+// fits in a machine word, rows are scanned block-at-a-time through
+// packed uint64 keys, resolved against a flat key table (small key
+// spaces) or an int-keyed map; otherwise the per-row varint byte-string
+// key is used. All paths produce identical groups in identical order
 // (BenchmarkGroupByStrategies covers them).
 func (t *Table) GroupBy(names ...string) ([]Group, error) {
 	if len(names) == 0 {
@@ -119,16 +171,40 @@ func (t *Table) GroupBy(names ...string) ([]Group, error) {
 		return Group{Key: kv}
 	}
 	if plan, ok := packedPlan(cols); ok {
-		idx := make(map[uint64]int, groupHint(t.nrows))
-		for r := 0; r < t.nrows; r++ {
-			k := plan.key(cols, r)
-			g, ok := idx[k]
-			if !ok {
-				g = len(groups)
-				idx[k] = g
-				groups = append(groups, newGroup(r))
+		ar := getStatsArena()
+		defer ar.release()
+		dense := plan.span <= maxDenseKeySpan
+		if dense {
+			ar.ensureKeyTable(int(plan.span))
+		}
+		for lo := 0; lo < t.nrows; lo += blockRows {
+			hi := lo + blockRows
+			if hi > t.nrows {
+				hi = t.nrows
 			}
-			groups[g].Rows = append(groups[g].Rows, r)
+			plan.blockKeys(cols, lo, hi, ar.keys, ar.scratch)
+			if dense {
+				for j, k := range ar.keys[:hi-lo] {
+					g := ar.keyTable[k]
+					if g == 0 {
+						g = int32(len(groups)) + 1
+						ar.keyTable[k] = g
+						ar.gkeys = append(ar.gkeys, k)
+						groups = append(groups, newGroup(lo+j))
+					}
+					groups[g-1].Rows = append(groups[g-1].Rows, lo+j)
+				}
+			} else {
+				for j, k := range ar.keys[:hi-lo] {
+					g, ok := ar.idx[k]
+					if !ok {
+						g = int32(len(groups))
+						ar.idx[k] = g
+						groups = append(groups, newGroup(lo+j))
+					}
+					groups[g].Rows = append(groups[g].Rows, lo+j)
+				}
+			}
 		}
 		return groups, nil
 	}
@@ -166,11 +242,37 @@ func (t *Table) NumGroups(names ...string) (int, error) {
 		cols[i] = c
 	}
 	if plan, ok := packedPlan(cols); ok {
-		seen := make(map[uint64]struct{}, groupHint(t.nrows))
-		for r := 0; r < t.nrows; r++ {
-			seen[plan.key(cols, r)] = struct{}{}
+		ar := getStatsArena()
+		defer ar.release()
+		dense := plan.span <= maxDenseKeySpan
+		if dense {
+			ar.ensureKeyTable(int(plan.span))
 		}
-		return len(seen), nil
+		n := 0
+		for lo := 0; lo < t.nrows; lo += blockRows {
+			hi := lo + blockRows
+			if hi > t.nrows {
+				hi = t.nrows
+			}
+			plan.blockKeys(cols, lo, hi, ar.keys, ar.scratch)
+			if dense {
+				for _, k := range ar.keys[:hi-lo] {
+					if ar.keyTable[k] == 0 {
+						ar.keyTable[k] = 1
+						ar.gkeys = append(ar.gkeys, k)
+						n++
+					}
+				}
+			} else {
+				for _, k := range ar.keys[:hi-lo] {
+					if _, ok := ar.idx[k]; !ok {
+						ar.idx[k] = 1
+						n++
+					}
+				}
+			}
+		}
+		return n, nil
 	}
 	seen := make(map[string]struct{}, groupHint(t.nrows))
 	key := make([]byte, 0, 16*len(cols))

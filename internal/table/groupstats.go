@@ -343,7 +343,27 @@ func (s *GroupStats) Project(keep []int) (*GroupStats, error) {
 // and the shard results merge in row order — so the group order is
 // identical to the serial scan at every worker count. confidential may
 // be empty when only group sizes are needed (plain k-anonymity).
+//
+// When the key columns admit a packed plan and the confidential
+// columns have dictionaries, each shard runs the chunked kernel:
+// blocks of rows stream through arena-pooled key/id buffers into a
+// flat per-group histogram slab, so the base scan of a lattice search
+// allocates no per-row memory and reuses its scratch across nodes.
 func (t *Table) GroupStats(qis, confidential []string, workers int) (*GroupStats, error) {
+	return t.groupStats(qis, confidential, workers, false)
+}
+
+// GroupStatsRowwise is the pre-columnar reference implementation: the
+// same sharding and merge, but each shard scans row-at-a-time through
+// the Column interface into per-group histogram maps. It is retained
+// as the differential oracle for the chunked kernel (the two must be
+// byte-identical on every table) and as the baseline BenchmarkScale
+// measures the packed substrate against.
+func (t *Table) GroupStatsRowwise(qis, confidential []string, workers int) (*GroupStats, error) {
+	return t.groupStats(qis, confidential, workers, true)
+}
+
+func (t *Table) groupStats(qis, confidential []string, workers int, rowwise bool) (*GroupStats, error) {
 	if len(qis) == 0 {
 		return nil, fmt.Errorf("table: group stats with no key columns")
 	}
@@ -368,6 +388,10 @@ func (t *Table) GroupStats(qis, confidential []string, workers int) (*GroupStats
 	// the shards allocation-free on the plan.
 	plan, packed := packedPlan(cols)
 
+	shard := buildStatShard
+	if rowwise {
+		shard = buildStatShardRowwise
+	}
 	if workers < 1 {
 		workers = 1
 	}
@@ -375,7 +399,7 @@ func (t *Table) GroupStats(qis, confidential []string, workers int) (*GroupStats
 		workers = t.nrows
 	}
 	if workers <= 1 {
-		return mergeStatShards([]*GroupStats{buildStatShard(cols, confCols, plan, packed, 0, t.nrows)}, len(qis), len(confidential)), nil
+		return mergeStatShards([]*GroupStats{shard(cols, confCols, plan, packed, 0, t.nrows)}, len(qis), len(confidential)), nil
 	}
 	shards := make([]*GroupStats, workers)
 	var wg sync.WaitGroup
@@ -385,16 +409,184 @@ func (t *Table) GroupStats(qis, confidential []string, workers int) (*GroupStats
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			shards[w] = buildStatShard(cols, confCols, plan, packed, lo, hi)
+			shards[w] = shard(cols, confCols, plan, packed, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	return mergeStatShards(shards, len(qis), len(confidential)), nil
 }
 
+// confPlan describes how the chunked kernel accumulates one
+// confidential column's histograms: the column's rows project onto
+// dense ids in [0, width) — extracted a block at a time by read — and
+// code translates an id back to the value the per-row Code method
+// reports, so emitted histograms match the rowwise scan exactly.
+type confPlan struct {
+	width int
+	read  func(dst []int32, lo, hi int) []int32
+	code  func(id int) int
+}
+
+// confPlanFor builds the dense-id projection of a confidential column,
+// or reports false for column types without a dictionary.
+func confPlanFor(c Column) (confPlan, bool) {
+	switch col := c.(type) {
+	case *stringColumn:
+		return confPlan{
+			width: len(col.dict),
+			read:  col.codes32,
+			code:  func(id int) int { return id },
+		}, true
+	case *floatColumn:
+		return confPlan{
+			width: len(col.dict),
+			read: func(dst []int32, lo, hi int) []int32 {
+				return append(dst, col.codes[lo:hi]...)
+			},
+			code: func(id int) int { return id },
+		}, true
+	case *intColumn:
+		d := col.intDict()
+		return confPlan{
+			width: len(d.vals),
+			read: func(dst []int32, lo, hi int) []int32 {
+				for _, v := range col.vals[lo:hi] {
+					dst = append(dst, d.id(v))
+				}
+				return dst
+			},
+			code: func(id int) int { return int(d.vals[id]) },
+		}, true
+	}
+	return confPlan{}, false
+}
+
 // buildStatShard aggregates rows [lo, hi) into per-group stats, groups
-// ordered by first appearance within the shard.
+// ordered by first appearance within the shard. It prefers the chunked
+// kernel and falls back to the rowwise scan when the key columns have
+// no packed plan or a confidential column has no dense projection.
 func buildStatShard(cols, confCols []Column, plan packPlan, packed bool, lo, hi int) *GroupStats {
+	if packed {
+		if s, ok := buildStatShardChunked(cols, confCols, plan, lo, hi); ok {
+			return s
+		}
+	}
+	return buildStatShardRowwise(cols, confCols, plan, packed, lo, hi)
+}
+
+// buildStatShardChunked is the block-at-a-time kernel: per block it
+// computes every row's packed key (blockKeys — bulk code extraction,
+// no per-row interface calls), resolves keys to group ids through the
+// arena's flat key table (or map, for wide key spaces), and bumps flat
+// slab histogram counters at [group*stride + confOffset + id]. All
+// scratch — key and id buffers, the key table, the slab — comes from
+// the arena pool, so repeated scans (the lattice search's base scans)
+// allocate only their O(#groups) output.
+func buildStatShardChunked(cols, confCols []Column, plan packPlan, lo, hi int) (*GroupStats, bool) {
+	confs := make([]confPlan, len(confCols))
+	stride := 0
+	for i, c := range confCols {
+		cp, ok := confPlanFor(c)
+		if !ok {
+			return nil, false
+		}
+		confs[i] = cp
+		stride += cp.width
+	}
+	if stride > maxDenseHistWidth {
+		return nil, false
+	}
+	s := &GroupStats{NumRows: hi - lo, NumQI: len(cols), NumConf: len(confCols)}
+	ar := getStatsArena()
+	defer ar.release()
+	dense := plan.span <= maxDenseKeySpan
+	if dense {
+		ar.ensureKeyTable(int(plan.span))
+	}
+	for blo := lo; blo < hi; blo += blockRows {
+		bhi := blo + blockRows
+		if bhi > hi {
+			bhi = hi
+		}
+		n := bhi - blo
+		plan.blockKeys(cols, blo, bhi, ar.keys, ar.scratch)
+		keys := ar.keys[:n]
+		if dense {
+			for j, k := range keys {
+				g := ar.keyTable[k]
+				if g == 0 {
+					g = int32(len(ar.gkeys)) + 1
+					ar.keyTable[k] = g
+					ar.gkeys = append(ar.gkeys, k)
+					ar.sizes = append(ar.sizes, 0)
+					ar.reps = append(ar.reps, int32(blo+j))
+				}
+				g--
+				ar.gids[j] = g
+				ar.sizes[g]++
+			}
+		} else {
+			for j, k := range keys {
+				g, ok := ar.idx[k]
+				if !ok {
+					g = int32(len(ar.gkeys))
+					ar.idx[k] = g
+					ar.gkeys = append(ar.gkeys, k)
+					ar.sizes = append(ar.sizes, 0)
+					ar.reps = append(ar.reps, int32(blo+j))
+				}
+				ar.gids[j] = g
+				ar.sizes[g]++
+			}
+		}
+		if stride > 0 {
+			ar.growHist(len(ar.gkeys) * stride)
+			off := 0
+			for a := range confs {
+				ar.ids = confs[a].read(ar.ids[:0], blo, bhi)
+				for j, id := range ar.ids {
+					ar.hist[int(ar.gids[j])*stride+off+int(id)]++
+				}
+				off += confs[a].width
+			}
+		}
+	}
+	if len(ar.gkeys) > 0 {
+		// Left nil when the shard is empty, matching the rowwise kernel.
+		s.Groups = make([]GroupStat, len(ar.gkeys))
+	}
+	for g, k := range ar.gkeys {
+		gs := &s.Groups[g]
+		gs.Codes = make([]int, len(cols))
+		plan.codes(k, gs.Codes)
+		gs.Size = int(ar.sizes[g])
+		gs.Rep = int(ar.reps[g])
+		gs.Hists = make([]CodeHist, len(confCols))
+		off := 0
+		for a := range confs {
+			seg := ar.hist[g*stride+off : g*stride+off+confs[a].width]
+			nz := 0
+			for _, count := range seg {
+				if count != 0 {
+					nz++
+				}
+			}
+			h := make(CodeHist, 0, nz)
+			for id, count := range seg {
+				if count != 0 {
+					h = append(h, CodeCount{Code: confs[a].code(id), Count: int(count)})
+				}
+			}
+			gs.Hists[a] = h
+			off += confs[a].width
+		}
+	}
+	return s, true
+}
+
+// buildStatShardRowwise aggregates rows [lo, hi) one row at a time
+// through the Column interface — the pre-columnar reference kernel.
+func buildStatShardRowwise(cols, confCols []Column, plan packPlan, packed bool, lo, hi int) *GroupStats {
 	s := &GroupStats{NumRows: hi - lo, NumQI: len(cols), NumConf: len(confCols)}
 	// histMaps[g][a] accumulates group g's histogram for confidential
 	// attribute a; converted to sorted CodeHists once the shard is done.

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // Column is one typed column of a table. Implementations are append-only
@@ -102,12 +103,20 @@ type stringColumn struct {
 	frozen bool
 	packed packedCodes
 
-	// sharedDict marks dict/index as borrowed from another column
-	// (Gather shares them — the dictionary is append-only, so sharing
-	// is safe for readers). The first append of a value absent from the
-	// dictionary clones both before writing, so the lender never
-	// observes the mutation.
-	sharedDict bool
+	// dictShared marks dict/index as shared with at least one other
+	// column (Gather shares them — the dictionary is append-only, so
+	// sharing is safe for readers). It is set on both the lender and
+	// the borrower, atomically, because parallel searches Gather the
+	// same cached column concurrently. The first append of a value
+	// absent from the dictionary clones both before writing, so no
+	// sharer ever observes another's mutation.
+	dictShared atomic.Bool
+
+	// dictBorrowed marks this column a Gather borrower: memBytes
+	// attributes dict/index to the original owner and skips them here,
+	// so a shared dictionary is counted once across telemetry. Set only
+	// during construction, cleared by the copy-on-write in intern.
+	dictBorrowed bool
 }
 
 func newStringColumn() *stringColumn {
@@ -158,6 +167,11 @@ func (c *stringColumn) Cardinality() int { return len(c.dict) }
 
 func (c *stringColumn) memBytes() int64 {
 	n := int64(len(c.codes))*4 + c.packed.memBytes()
+	if c.dictBorrowed {
+		// A borrowed dictionary is attributed to the column it was
+		// gathered from, so shared dictionaries are counted once.
+		return n
+	}
 	for _, s := range c.dict {
 		// string bytes + header, counted twice: once in dict, once as
 		// an index key.
@@ -195,17 +209,19 @@ func (c *stringColumn) intern(s string) int32 {
 	if ok {
 		return code
 	}
-	if c.sharedDict {
-		// Copy-on-write: never grow a borrowed dictionary in place —
-		// two borrowers appending would race on the shared backing
-		// array even though each keeps its own length.
+	if c.dictShared.Load() {
+		// Copy-on-write: never grow a shared dictionary in place — two
+		// sharers appending would race on the backing array, and a
+		// sharer interning through the common index could find a code
+		// beyond its own dict's length.
 		c.dict = append([]string(nil), c.dict...)
 		index := make(map[string]int32, len(c.index)+1)
 		for k, v := range c.index {
 			index[k] = v
 		}
 		c.index = index
-		c.sharedDict = false
+		c.dictShared.Store(false)
+		c.dictBorrowed = false
 	}
 	code = int32(len(c.dict))
 	c.dict = append(c.dict, s)
@@ -235,7 +251,15 @@ func (c *stringColumn) AppendText(s string) error {
 // regardless of dictionary size. The gathered dictionary may contain
 // values no selected row holds; code semantics are unaffected.
 func (c *stringColumn) Gather(rows []int) Column {
-	out := &stringColumn{dict: c.dict, index: c.index, sharedDict: true}
+	// Sharing is copy-on-write in both directions: the borrower must
+	// not grow the lender's dictionary, and the lender must not grow
+	// the now-shared dictionary in place underneath the borrower — a
+	// borrower interning a value the lender added later would find a
+	// code beyond its own dictionary. Marking the lender is an atomic
+	// store because concurrent searches Gather shared cached columns.
+	c.dictShared.Store(true)
+	out := &stringColumn{dict: c.dict, index: c.index, dictBorrowed: true}
+	out.dictShared.Store(true)
 	out.codes = make([]int32, 0, len(rows))
 	if c.frozen {
 		for _, r := range rows {
@@ -288,10 +312,17 @@ func (c *intColumn) intDict() *intDict {
 			return
 		}
 		lo, hi, _ := c.CodeRange()
-		span := int64(hi) - int64(lo) + 1
-		if span <= intDictMaxSpan {
+		// The span is computed unsigned: signed subtraction overflows for
+		// wide value ranges (lo near MinInt64, hi near MaxInt64), and a
+		// wrapped span would slip past the cap into the dense path and
+		// panic on make or on the presence scan. uint64(hi)-uint64(lo) is
+		// the exact difference for any int64 pair; the +1 wraps to 0 only
+		// for the full 2^64-wide domain, which the != 0 guard routes to
+		// the map path along with every other over-cap span.
+		uspan := uint64(hi) - uint64(lo) + 1
+		if uspan != 0 && uspan <= intDictMaxSpan {
 			d.lo = int64(lo)
-			d.dense = make([]int32, span)
+			d.dense = make([]int32, uspan)
 			for _, v := range c.vals {
 				d.dense[v-d.lo] = 1
 			}

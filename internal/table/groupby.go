@@ -63,7 +63,15 @@ func packedPlan(cols []Column) (packPlan, bool) {
 		if !ok || hi < lo {
 			return packPlan{}, false
 		}
-		span := uint64(hi-lo) + 1
+		// Unsigned difference: hi-lo overflows int for wide int-column
+		// ranges, and the full 2^64-wide domain would wrap span to 0 —
+		// poisoning stride (and the dense key table) instead of falling
+		// back to the byte-string keys.
+		diff := uint64(hi) - uint64(lo)
+		if diff == math.MaxUint64 {
+			return packPlan{}, false
+		}
+		span := diff + 1
 		if span > math.MaxUint64/stride {
 			return packPlan{}, false
 		}

@@ -212,6 +212,56 @@ func TestStringGatherSharesDict(t *testing.T) {
 	}
 }
 
+// TestGatherLenderCopyOnWrite pins the other direction of the shared-
+// dictionary contract: after a Gather the LENDER's dictionary is shared
+// too, so a novel append to the source must copy-on-write rather than
+// grow the dictionary in place underneath the borrower. Pre-fix, the
+// borrower then found the lender's new value in the shared index with a
+// code beyond its own dictionary and panicked in Value.
+func TestGatherLenderCopyOnWrite(t *testing.T) {
+	src := buildStringColumn(t, []int{0, 1, 2, 3}, 4)
+	src.freeze()
+	out := src.Gather([]int{1, 3}).(*stringColumn)
+	dictBefore := len(out.dict)
+	src.append("lender-novel")
+	if len(out.dict) != dictBefore {
+		t.Fatal("append to lender grew the borrower's dictionary")
+	}
+	if got := src.Value(src.Len() - 1).Str(); got != "lender-novel" {
+		t.Fatalf("lender append stored %q", got)
+	}
+	out.append("lender-novel")
+	if got := out.Value(out.Len() - 1).Str(); got != "lender-novel" {
+		t.Fatalf("borrower append stored %q", got)
+	}
+	if out.Value(0).Str() != "v1" || out.Value(1).Str() != "v3" {
+		t.Fatal("borrower's original rows changed")
+	}
+}
+
+// TestGatherMemBytesCountsDictOnce: a borrowed dictionary is attributed
+// to the column it was gathered from, so cache telemetry doesn't count
+// the same dictionary once per borrower.
+func TestGatherMemBytesCountsDictOnce(t *testing.T) {
+	src := buildStringColumn(t, []int{0, 1, 2}, 3)
+	src.freeze()
+	lenderBytes := src.memBytes()
+	out := src.Gather([]int{0, 2}).(*stringColumn)
+	if got := out.memBytes(); got != out.packed.memBytes() {
+		t.Errorf("borrower memBytes = %d, want packed codes only (%d)", got, out.packed.memBytes())
+	}
+	if got := src.memBytes(); got != lenderBytes {
+		t.Errorf("lender memBytes changed across Gather: %d != %d", got, lenderBytes)
+	}
+	// Once the borrower copies-on-write it owns its dictionary and
+	// counts it again (append unfreezes, so the code bytes are the
+	// plain int32 slice).
+	out.append("novel")
+	if got := out.memBytes(); got <= int64(len(out.codes))*4 {
+		t.Errorf("post-COW borrower memBytes = %d, dict no longer counted", got)
+	}
+}
+
 // randomScanMicrodata builds an n-row table spanning every column type
 // the chunked kernel specializes: string/int QIs (the int with negative
 // values) and string/int/float confidential attributes.

@@ -12,6 +12,9 @@ BENCH_TOLERANCE ?= 0.15
 # The scale benchmarks run single-iteration over millions of rows, so
 # their snapshot comparison gets a looser gate than the microbenchmarks.
 SCALE_TOLERANCE ?= 0.50
+# The incremental benchmarks time millisecond-scale per-batch work at
+# 10 iterations, so they inherit the looser gate too.
+INCR_TOLERANCE ?= 0.50
 FUZZTIME ?= 30s
 
 # Statement-coverage ratchet for `make cover`: set just below the
@@ -19,7 +22,7 @@ FUZZTIME ?= 30s
 # genuinely improves; never lower it to admit a regression.
 COVERAGE_FLOOR ?= 84.0
 
-.PHONY: check vet build test race bench bench-json bench-scale bench-compare fuzz-smoke cover
+.PHONY: check vet build test race bench bench-json bench-scale bench-incr bench-compare fuzz-smoke cover
 
 check: vet build race bench
 
@@ -49,7 +52,7 @@ bench:
 # and the telemetry overhead benchmark into BENCH_obs.json, the record
 # that a disabled recorder costs the search at most ~2% (nil-receiver
 # fast path) and an attached one stays in the same ballpark.
-bench-json:
+bench-json: bench-incr
 	$(GO) test -run '^$$' -bench '^BenchmarkRollup$$' -benchmem -benchtime 10x . \
 		| $(GO) run ./cmd/benchjson > BENCH_rollup.json
 	$(GO) test -run '^$$' -bench '^BenchmarkPolicy$$' -benchmem -benchtime 10x . \
@@ -58,6 +61,16 @@ bench-json:
 		| $(GO) run ./cmd/benchjson > BENCH_obs.json
 	$(GO) test -run '^$$' -bench '^BenchmarkParallelSearch$$' -benchmem -benchtime 10x . \
 		| $(GO) run ./cmd/benchjson > BENCH_parallel.json
+
+# bench-incr snapshots the streaming benchmark — warm (incremental
+# Apply+Republish) vs cold (full Samarati re-search) per delta batch on
+# the ~1M-row Adult shape across the 0.1%/1%/10% churn ladder — into
+# BENCH_incr.json, the committed record that a republish costs O(delta)
+# and stays >= 10x ahead of the cold pipeline at low churn (the
+# SpeedupPin sub-benchmark fails otherwise).
+bench-incr:
+	$(GO) test -run '^$$' -bench '^BenchmarkIncremental$$' -benchmem -benchtime 10x . \
+		| $(GO) run ./cmd/benchjson > BENCH_incr.json
 
 # bench-scale snapshots the scale benchmark — base-scan and Samarati
 # ns/row + allocs/row on the 48,842-row Adult shape x2/x20/x205
@@ -82,15 +95,20 @@ bench-compare:
 		| $(GO) run ./cmd/benchjson -compare BENCH_obs.json -tolerance $(BENCH_TOLERANCE)
 	$(GO) test -run '^$$' -bench '^BenchmarkScale$$' -benchmem -benchtime 1x . \
 		| $(GO) run ./cmd/benchjson -compare BENCH_scale.json -tolerance $(SCALE_TOLERANCE)
+	$(GO) test -run '^$$' -bench '^BenchmarkIncremental$$' -benchmem -benchtime 10x . \
+		| $(GO) run ./cmd/benchjson -compare BENCH_incr.json -tolerance $(INCR_TOLERANCE)
 
 # fuzz-smoke gives each native fuzz target FUZZTIME of coverage-guided
 # input generation on top of its committed seed corpus: the loaders
-# (dataset, hierarchy) must never panic on hostile bytes, and the two
-# implementations of Definition 2 must agree on every generated table.
+# (dataset, hierarchy) must never panic on hostile bytes, the two
+# implementations of Definition 2 must agree on every generated table,
+# and the incremental session must survive hostile delta files with
+# exact live-row accounting.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadTable$$' -fuzztime $(FUZZTIME) ./internal/dataset
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadHierarchy$$' -fuzztime $(FUZZTIME) ./internal/hierarchy
 	$(GO) test -run '^$$' -fuzz '^FuzzPolicyEval$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzApplyDelta$$' -fuzztime $(FUZZTIME) ./internal/search
 
 # cover measures statement coverage across the module and fails below
 # COVERAGE_FLOOR. The profile is left in coverage.out for inspection

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"psk/internal/core"
 	"psk/internal/dataset"
@@ -19,6 +20,7 @@ import (
 	"psk/internal/lattice"
 	"psk/internal/obs"
 	"psk/internal/search"
+	"psk/internal/stream"
 	"psk/internal/table"
 )
 
@@ -948,6 +950,203 @@ func benchPerRow(b *testing.B, rows int, fn func() error) {
 	perRow := float64(b.N) * float64(rows)
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/perRow, "ns/row")
 	b.ReportMetric(float64(after.Mallocs-before.Mallocs)/perRow, "allocs/row")
+}
+
+// BenchmarkIncremental measures the streaming publisher against the
+// cold republish it replaces, on the ~1M-row Adult shape
+// (GenerateScaled x20; the ~100k x2 tier under -short) across a churn
+// ladder of 0.1% / 1% / 10% rows per batch. Warm is the incremental
+// loop — Apply the delta, Republish the maintained node — whose cost
+// is proportional to the delta (the allocs/op column scales with the
+// churn, not the table). Cold is the same delta absorbed into a plain
+// ledger followed by a full Samarati re-search of the live snapshot,
+// the O(rows) pipeline a batch publisher would re-run. SpeedupPin
+// fails the benchmark if the warm path is not at least 10x faster per
+// batch at 0.1% churn. `make bench-incr` snapshots everything into
+// BENCH_incr.json and `make bench-compare` gates regressions on it.
+func BenchmarkIncremental(b *testing.B) {
+	factor := 20
+	if testing.Short() {
+		factor = 2
+	}
+	im, err := dataset.GenerateScaled(factor, 2006)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := im.NumRows()
+	hs, err := dataset.Hierarchies()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := search.Config{
+		QIs:           dataset.QIs(),
+		Confidential:  dataset.Confidential(),
+		Hierarchies:   hs,
+		K:             10,
+		P:             2,
+		MaxSuppress:   rows / 100,
+		UseConditions: true,
+	}
+	// Batches are pregenerated per epoch; when a timed loop outruns the
+	// supply, the session is rebuilt off the clock and the stream starts
+	// over (retire ids are only valid against the session they were
+	// generated for).
+	const supply = 64
+	churns := []struct {
+		name string
+		frac float64
+	}{{"Churn0.1", 0.001}, {"Churn1", 0.01}, {"Churn10", 0.1}}
+
+	for _, c := range churns {
+		c := c
+		b.Run("Warm/"+c.name, func(b *testing.B) {
+			var (
+				s       *search.Incremental
+				batches []stream.Batch
+				next    int
+			)
+			reset := func() {
+				var err error
+				if s, err = search.OpenIncremental(im, cfg, search.StrategySamarati); err != nil {
+					b.Fatal(err)
+				}
+				if res, err := s.Republish(); err != nil || !res.Found {
+					b.Fatalf("initial publish: found %v, err %v", res.Found, err)
+				}
+				if batches, err = dataset.GenerateBatches(rows, supply, c.frac, 7); err != nil {
+					b.Fatal(err)
+				}
+				next = 0
+			}
+			reset()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if next == len(batches) {
+					b.StopTimer()
+					reset()
+					b.StartTimer()
+				}
+				batch := batches[next]
+				next++
+				if err := s.Apply(batch.Append, batch.Retire); err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Republish()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Found {
+					b.Fatal("republish found nothing")
+				}
+			}
+		})
+		b.Run("Cold/"+c.name, func(b *testing.B) {
+			led := table.NewLedger(im)
+			batches, err := dataset.GenerateBatches(rows, supply, c.frac, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			next := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if next == len(batches) {
+					b.StopTimer()
+					led = table.NewLedger(im)
+					next = 0
+					b.StartTimer()
+				}
+				batch := batches[next]
+				next++
+				if err := applyToLedger(led, batch); err != nil {
+					b.Fatal(err)
+				}
+				snap, err := led.Snapshot()
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := search.Samarati(snap, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Found {
+					b.Fatal("cold search found nothing")
+				}
+			}
+		})
+	}
+
+	// SpeedupPin is the acceptance gate, not a throughput number: it
+	// times a handful of warm batches and one cold republish on the same
+	// post-delta rows and fails unless warm wins by at least 10x.
+	b.Run("SpeedupPin/Churn0.1", func(b *testing.B) {
+		n := 3
+		batches, err := dataset.GenerateBatches(rows, n, 0.001, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := search.OpenIncremental(im, cfg, search.StrategySamarati)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res, err := s.Republish(); err != nil || !res.Found {
+			b.Fatalf("initial publish: found %v, err %v", res.Found, err)
+		}
+		warmStart := time.Now()
+		for _, batch := range batches {
+			if err := s.Apply(batch.Append, batch.Retire); err != nil {
+				b.Fatal(err)
+			}
+			res, err := s.Republish()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Found {
+				b.Fatal("republish found nothing")
+			}
+		}
+		warmPer := time.Since(warmStart) / time.Duration(n)
+
+		led := table.NewLedger(im)
+		for _, batch := range batches {
+			if err := applyToLedger(led, batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		coldStart := time.Now()
+		snap, err := led.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := search.Samarati(snap, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Found {
+			b.Fatal("cold search found nothing")
+		}
+		coldPer := time.Since(coldStart)
+
+		b.ReportMetric(float64(coldPer)/float64(warmPer), "x-speedup")
+		if coldPer < 10*warmPer {
+			b.Errorf("incremental republish (%v/batch) is not 10x faster than cold (%v/batch) at 0.1%% churn", warmPer, coldPer)
+		}
+	})
+}
+
+// applyToLedger absorbs one delta batch into a plain ledger — the row
+// bookkeeping both the cold and warm republish variants share.
+func applyToLedger(led *table.Ledger, batch stream.Batch) error {
+	for _, id := range batch.Retire {
+		if err := led.Retire(id); err != nil {
+			return err
+		}
+	}
+	for _, cells := range batch.Append {
+		if _, err := led.AppendText(cells); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // BenchmarkObsOverhead measures what the telemetry layer costs the

@@ -16,6 +16,7 @@ import (
 	"psk"
 	"psk/internal/config"
 	"psk/internal/dataset"
+	"psk/internal/stream"
 	"psk/internal/table"
 )
 
@@ -81,6 +82,7 @@ func Anon(args []string, stdout, stderr io.Writer) error {
 		algorithm = fs.String("algorithm", "samarati", "search algorithm: samarati, bottomup, exhaustive")
 		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the search; on expiry the best result found so far is used (0 = no limit)")
 		maxNodes  = fs.Int64("max-nodes", 0, "lattice-node evaluation budget for the search (0 = no limit)")
+		deltas    = fs.String("stream", "", "JSONL delta file (adultgen -stream format): anonymize incrementally, republishing after every batch, and write the final masked table")
 	)
 	pf := registerPolicyFlags(fs)
 	prof := registerProfileFlags(fs)
@@ -152,6 +154,10 @@ func Anon(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown algorithm %q", *algorithm)
 	}
 
+	if *deltas != "" {
+		return anonStream(data, cfg, *deltas, *out, of, stdout, stderr)
+	}
+
 	res, err := psk.Anonymize(data, cfg)
 	if err != nil {
 		return err
@@ -196,6 +202,73 @@ func Anon(args []string, stdout, stderr io.Writer) error {
 		return res.Masked.WriteCSV(stdout)
 	}
 	return res.Masked.WriteCSVFile(*out)
+}
+
+// anonStream is pskanon's -stream mode: open an incremental session on
+// the input table, absorb the delta file batch by batch with a
+// republish after each, and write the final masked table. Per-batch
+// verdict lines go to stderr; the CSV on stdout/-out reflects the live
+// rows after the last batch.
+func anonStream(data *psk.Table, cfg psk.Config, deltaPath, out string, of *obsFlags, stdout, stderr io.Writer) error {
+	s, err := psk.OpenSession(data, cfg)
+	if err != nil {
+		return err
+	}
+	cols := s.Schema().Names()
+	report := func(label string, res *psk.Result) {
+		if res.Found {
+			fmt.Fprintf(stderr, "%s: node %s, %d live rows, %d suppressed\n", label, res.Node, s.NumLive(), res.Suppressed)
+		} else {
+			fmt.Fprintf(stderr, "%s: no satisfying generalization (%d live rows)\n", label, s.NumLive())
+		}
+	}
+	res, err := s.Republish()
+	if err != nil {
+		return err
+	}
+	report("initial", res)
+
+	f, err := os.Open(deltaPath)
+	if err != nil {
+		return inputErr(err)
+	}
+	defer f.Close()
+	r := stream.NewReader(f)
+	for {
+		b, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return inputErr(err)
+		}
+		if err := b.Validate(cols); err != nil {
+			return inputErr(fmt.Errorf("%s line %d: %w", deltaPath, r.Line(), err))
+		}
+		if err := s.Apply(b.Append, b.Retire); err != nil {
+			return inputErr(fmt.Errorf("%s line %d: %w", deltaPath, r.Line(), err))
+		}
+		if res, err = s.Republish(); err != nil {
+			return err
+		}
+		report(fmt.Sprintf("batch %d", r.Line()), res)
+	}
+
+	if err := of.report(res.Report, stderr); err != nil {
+		return err
+	}
+	if !res.Found {
+		return fmt.Errorf("no generalization satisfies the property on the rows after the final batch")
+	}
+	mm, suppressed, err := s.Materialize()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "final: node %s, %d rows released, %d suppressed\n", s.Published(), mm.NumRows(), suppressed)
+	if out == "" {
+		return mm.WriteCSV(stdout)
+	}
+	return mm.WriteCSVFile(out)
 }
 
 // Check implements pskcheck: verify privacy properties or run SQL.
@@ -354,15 +427,20 @@ func Check(args []string, stdout, stderr io.Writer) error {
 	return of.report(nil, stderr)
 }
 
-// Gen implements adultgen: emit synthetic Adult microdata.
+// Gen implements adultgen: emit synthetic Adult microdata, or with
+// -stream a JSONL delta file (append/retire batches) against a base
+// table of the same size.
 func Gen(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("adultgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		n     = fs.Int("n", 4000, "number of records")
-		scale = fs.Int("scale", 0, "emit the full 48,842-row Adult shape times this factor (overrides -n)")
-		seed  = fs.Int64("seed", 2006, "generator seed")
-		out   = fs.String("out", "", "output CSV file (default: stdout)")
+		n       = fs.Int("n", 4000, "number of records")
+		scale   = fs.Int("scale", 0, "emit the full 48,842-row Adult shape times this factor (overrides -n)")
+		seed    = fs.Int64("seed", 2006, "generator seed")
+		out     = fs.String("out", "", "output file (default: stdout)")
+		doDelta = fs.Bool("stream", false, "emit a JSONL delta stream (for pskanon -stream) instead of CSV; -n/-scale size the base table the deltas run against")
+		batches = fs.Int("batches", 8, "with -stream: number of delta batches")
+		churn   = fs.Float64("churn", 0.01, "with -stream: fraction of the base rows each batch retires and re-appends")
 	)
 	prof := registerProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -373,6 +451,32 @@ func Gen(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	defer stopProf()
+	if *doDelta {
+		baseRows := *n
+		if *scale > 0 {
+			baseRows = *scale * dataset.AdultRows
+		}
+		bs, err := dataset.GenerateBatches(baseRows, *batches, *churn, *seed)
+		if err != nil {
+			return err
+		}
+		if *out == "" {
+			return stream.Write(stdout, bs)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := stream.Write(f, bs); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %d delta batches against %d base rows to %s\n", len(bs), baseRows, *out)
+		return nil
+	}
 	var tbl *table.Table
 	if *scale > 0 {
 		tbl, err = dataset.GenerateScaled(*scale, *seed)

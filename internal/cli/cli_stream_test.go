@@ -1,0 +1,127 @@
+package cli
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"psk"
+	"psk/internal/stream"
+)
+
+// TestGenStream: adultgen -stream emits a parseable JSONL delta file
+// with the requested batch count and churn, deterministically.
+func TestGenStream(t *testing.T) {
+	var a, b, stderr strings.Builder
+	args := []string{"-stream", "-n", "200", "-batches", "3", "-churn", "0.05", "-seed", "7"}
+	if err := Gen(args, &a, &stderr); err != nil {
+		t.Fatalf("Gen: %v", err)
+	}
+	if err := Gen(args, &b, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed emitted different delta streams")
+	}
+	r := stream.NewReader(strings.NewReader(a.String()))
+	var batches []stream.Batch
+	for {
+		batch, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches = append(batches, batch)
+	}
+	if len(batches) != 3 {
+		t.Fatalf("%d batches, want 3", len(batches))
+	}
+	if len(batches[0].Columns) == 0 {
+		t.Fatal("first batch declares no columns")
+	}
+	if got := len(batches[0].Retire); got != 10 {
+		t.Fatalf("batch churn %d, want 10 (0.05 * 200)", got)
+	}
+}
+
+// TestGenStreamToFile: -out writes the delta file and reports on stderr.
+func TestGenStreamToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deltas.jsonl")
+	var stdout, stderr strings.Builder
+	if err := Gen([]string{"-stream", "-n", "100", "-batches", "2", "-out", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("Gen: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "2 delta batches against 100 base rows") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("delta file missing or empty: %v", err)
+	}
+}
+
+// patientDeltas is a hand-written delta stream against patientsCSV
+// (rows 0-11): two batches of churn that keep every QI-group at least
+// 3 strong after generalization.
+const patientDeltas = `{"columns":["Age","ZipCode","Sex","Illness"],"append":[["27","41076","F","Colitis"],["33","41099","F","Flu"]],"retire":[0]}
+{"append":[["56","43102","F","Asthma"],["62","43103","M","Diabetes"]],"retire":[3]}
+`
+
+// TestAnonStreamEndToEnd: pskanon -stream consumes a delta file,
+// republishes per batch, and the final release satisfies the property
+// on the post-delta rows.
+func TestAnonStreamEndToEnd(t *testing.T) {
+	csvPath, jobPath, dir := writeFixtures(t)
+	deltaPath := filepath.Join(dir, "deltas.jsonl")
+	if err := os.WriteFile(deltaPath, []byte(patientDeltas), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "masked.csv")
+	var stdout, stderr strings.Builder
+	err := Anon([]string{"-in", csvPath, "-job", jobPath, "-stream", deltaPath, "-out", outPath}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("Anon -stream: %v\nstderr: %s", err, stderr.String())
+	}
+	for _, want := range []string{"initial:", "batch 1:", "batch 2:", "final:"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr.String())
+		}
+	}
+	masked, err := psk.ReadCSVFile(outPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 base rows - 2 retires + 4 appends = 14 live, minus suppression.
+	if masked.NumRows() > 14 {
+		t.Fatalf("release has %d rows for 14 live", masked.NumRows())
+	}
+	ok, err := psk.IsPSensitiveKAnonymous(masked, []string{"Age", "ZipCode", "Sex"}, []string{"Illness"}, 2, 3)
+	if err != nil || !ok {
+		t.Errorf("final release not 2-sensitive 3-anonymous: %v", err)
+	}
+}
+
+// TestAnonStreamRejectsBadDeltas: schema mismatches and unknown retire
+// ids are input errors that name the offending line.
+func TestAnonStreamRejectsBadDeltas(t *testing.T) {
+	csvPath, jobPath, dir := writeFixtures(t)
+	for name, deltas := range map[string]string{
+		"wrong columns":  `{"columns":["Age","Zip","Sex","Illness"],"retire":[0]}` + "\n",
+		"short row":      `{"append":[["27","41076","F"]]}` + "\n",
+		"unknown retire": `{"retire":[99]}` + "\n",
+		"garbage":        "not json\n",
+	} {
+		deltaPath := filepath.Join(dir, "bad.jsonl")
+		if err := os.WriteFile(deltaPath, []byte(deltas), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var stdout, stderr strings.Builder
+		err := Anon([]string{"-in", csvPath, "-job", jobPath, "-stream", deltaPath}, &stdout, &stderr)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

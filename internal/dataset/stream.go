@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"psk/internal/stream"
+)
+
+// GenerateBatches derives a deterministic append/retire delta stream
+// against a base table of baseRows Adult records: every batch retires
+// round(churn * baseRows) live rows (never more than half the live set)
+// and appends as many freshly sampled Adult records, so the live row
+// count stays at baseRows while the population turns over. Row ids
+// follow stream order — the base table's rows are 0..baseRows-1 and
+// each appended row takes the next id — matching the ledger's
+// numbering, and the generator tracks liveness itself so no batch ever
+// retires a dead or unknown id. The first batch declares the Adult
+// column names for schema validation on the consumer side.
+//
+// The sampled records come from the same marginal distributions
+// Generate and GenerateScaled draw from, so churn preserves the
+// dataset's shape (a benchmark's group structure drifts, it does not
+// degenerate). Deterministic for a given (baseRows, batches, churn,
+// seed).
+func GenerateBatches(baseRows, batches int, churn float64, seed int64) ([]stream.Batch, error) {
+	if baseRows < 1 {
+		return nil, fmt.Errorf("dataset: delta stream over %d base rows", baseRows)
+	}
+	if batches < 0 {
+		return nil, fmt.Errorf("dataset: negative batch count %d", batches)
+	}
+	if churn < 0 || churn > 1 {
+		return nil, fmt.Errorf("dataset: churn %v outside [0, 1]", churn)
+	}
+	perBatch := int(churn*float64(baseRows) + 0.5)
+	if perBatch < 1 {
+		perBatch = 1
+	}
+	if perBatch > baseRows/2 {
+		perBatch = baseRows / 2
+	}
+	r := rand.New(rand.NewSource(seed))
+	live := make([]bool, baseRows, baseRows+batches*perBatch)
+	for i := range live {
+		live[i] = true
+	}
+	nLive := baseRows
+	out := make([]stream.Batch, 0, batches)
+	for bi := 0; bi < batches; bi++ {
+		b := stream.Batch{
+			Retire: make([]int, 0, perBatch),
+			Append: make([][]string, 0, perBatch),
+		}
+		if bi == 0 {
+			b.Columns = Schema().Names()
+		}
+		for len(b.Retire) < perBatch && nLive > 0 {
+			id := r.Intn(len(live))
+			if !live[id] {
+				continue
+			}
+			live[id] = false
+			nLive--
+			b.Retire = append(b.Retire, id)
+		}
+		for i := 0; i < perBatch; i++ {
+			b.Append = append(b.Append, sampleAdultCells(r))
+			live = append(live, true)
+			nLive++
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// sampleAdultCells draws one Adult record as textual cells in schema
+// order, from the same marginals the table generators use.
+func sampleAdultCells(r *rand.Rand) []string {
+	age := sampleAge(r)
+	pay := samplePay(r, age)
+	return []string{
+		strconv.FormatInt(age, 10),
+		maritalDist.sample(r),
+		raceDist.sample(r),
+		sexDist.sample(r),
+		pay,
+		strconv.FormatInt(sampleGain(r, pay), 10),
+		strconv.FormatInt(sampleLoss(r), 10),
+		strconv.FormatInt(sampleTaxPeriod(r), 10),
+	}
+}

@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGenerateBatchesDeterministicAndValid: identical parameters give
+// identical streams, every batch has the requested churn size, and a
+// liveness replay never sees a dead or out-of-range retire id.
+func TestGenerateBatchesDeterministicAndValid(t *testing.T) {
+	const baseRows, batches = 500, 8
+	a, err := GenerateBatches(baseRows, batches, 0.05, 2006)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateBatches(baseRows, batches, 0.05, 2006)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same parameters generated different streams")
+	}
+	if len(a) != batches {
+		t.Fatalf("%d batches, want %d", len(a), batches)
+	}
+	cols := Schema().Names()
+	if !reflect.DeepEqual(a[0].Columns, cols) {
+		t.Fatalf("first batch declares %v", a[0].Columns)
+	}
+	const perBatch = 25 // 0.05 * 500
+	live := make([]bool, baseRows)
+	for i := range live {
+		live[i] = true
+	}
+	next := baseRows
+	for bi, batch := range a {
+		if bi > 0 && batch.Columns != nil {
+			t.Fatalf("batch %d re-declares columns", bi)
+		}
+		if err := batch.Validate(cols); err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+		if len(batch.Retire) != perBatch || len(batch.Append) != perBatch {
+			t.Fatalf("batch %d has %d retires / %d appends, want %d each", bi, len(batch.Retire), len(batch.Append), perBatch)
+		}
+		for _, id := range batch.Retire {
+			if id < 0 || id >= next {
+				t.Fatalf("batch %d retires unknown id %d (have %d)", bi, id, next)
+			}
+			if !live[id] {
+				t.Fatalf("batch %d retires dead id %d", bi, id)
+			}
+			live[id] = false
+		}
+		for _, row := range batch.Append {
+			if len(row) != len(cols) {
+				t.Fatalf("batch %d appends a %d-cell row", bi, len(row))
+			}
+			live = append(live, true)
+			next++
+		}
+	}
+}
+
+func TestGenerateBatchesBounds(t *testing.T) {
+	// Tiny churn still moves at least one row per batch.
+	small, err := GenerateBatches(100, 2, 0.0001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small[0].Retire) != 1 || len(small[0].Append) != 1 {
+		t.Fatalf("minimum churn batch: %d retires / %d appends", len(small[0].Retire), len(small[0].Append))
+	}
+	// Full churn is clamped to half the base so retires can't exhaust it.
+	big, err := GenerateBatches(10, 1, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big[0].Retire) != 5 {
+		t.Fatalf("churn 1.0 retires %d of 10", len(big[0].Retire))
+	}
+	for _, bad := range []struct {
+		rows, n int
+		churn   float64
+	}{{0, 1, 0.1}, {10, -1, 0.1}, {10, 1, -0.1}, {10, 1, 1.5}} {
+		if _, err := GenerateBatches(bad.rows, bad.n, bad.churn, 1); err == nil {
+			t.Errorf("GenerateBatches(%d, %d, %v) accepted", bad.rows, bad.n, bad.churn)
+		}
+	}
+}

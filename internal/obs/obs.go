@@ -152,6 +152,8 @@ type Recorder struct {
 
 	budgetStops, panicsRecovered atomic.Int64
 
+	groupsRecheck, repairAscents, coldFallbacks atomic.Int64
+
 	mu       sync.Mutex
 	policies map[string]*policyAgg
 }
@@ -308,6 +310,35 @@ func (r *Recorder) PanicRecovered() {
 		return
 	}
 	r.panicsRecovered.Add(1)
+}
+
+// GroupsRecheck accumulates groups re-verdicted by an incremental
+// session's O(changed-groups) fast path.
+func (r *Recorder) GroupsRecheck(n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.groupsRecheck.Add(n)
+}
+
+// RepairAscent records one repair pass: the incremental session found
+// the published node violated and climbed the lattice from it instead
+// of searching cold.
+func (r *Recorder) RepairAscent() {
+	if r == nil {
+		return
+	}
+	r.repairAscents.Add(1)
+}
+
+// ColdFallback records one full batch-strategy run inside an
+// incremental session — the initial publish, or a republish the repair
+// ascent could not settle.
+func (r *Recorder) ColdFallback() {
+	if r == nil {
+		return
+	}
+	r.coldFallbacks.Add(1)
 }
 
 // PolicyEval records one policy evaluation (by policy name) started at

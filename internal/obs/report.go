@@ -36,6 +36,20 @@ type Report struct {
 	// PanicsRecovered counts node evaluations whose panic the engine
 	// recovered into an error outcome.
 	PanicsRecovered int64 `json:"panics_recovered"`
+	// Incremental summarizes streaming-session work (all zero for batch
+	// searches).
+	Incremental IncrementalStats `json:"incremental"`
+}
+
+// IncrementalStats summarizes an incremental session's republish work.
+type IncrementalStats struct {
+	// GroupsRecheck: groups re-verdicted by the O(changed-groups) path.
+	GroupsRecheck int64 `json:"groups_recheck"`
+	// RepairAscents: republishes repaired by lattice ascent from the
+	// incumbent node.
+	RepairAscents int64 `json:"repair_ascents"`
+	// ColdFallbacks: full batch-strategy runs (initial publish included).
+	ColdFallbacks int64 `json:"cold_fallbacks"`
 }
 
 // NodeCounts is the verdict breakdown of node evaluations.
@@ -156,6 +170,11 @@ func (r *Recorder) Snapshot() *Report {
 	rep.SuppressedRows = r.suppressedRows.Load()
 	rep.BudgetStops = r.budgetStops.Load()
 	rep.PanicsRecovered = r.panicsRecovered.Load()
+	rep.Incremental = IncrementalStats{
+		GroupsRecheck: r.groupsRecheck.Load(),
+		RepairAscents: r.repairAscents.Load(),
+		ColdFallbacks: r.coldFallbacks.Load(),
+	}
 	return rep
 }
 
@@ -170,15 +189,18 @@ func (r *Recorder) Snapshot() *Report {
 // are deliberately excluded.
 func (r *Report) DeterministicCounters() map[string]int64 {
 	out := map[string]int64{
-		"nodes.evaluated":         r.Nodes.Evaluated,
-		"nodes.satisfied":         r.Nodes.Satisfied,
-		"nodes.violated":          r.Nodes.Violated,
-		"nodes.pruned_condition1": r.Nodes.PrunedCondition1,
-		"nodes.pruned_condition2": r.Nodes.PrunedCondition2,
-		"nodes.over_budget":       r.Nodes.OverBudget,
-		"nodes.errors":            r.Nodes.Errors,
-		"suppressed_rows":         r.SuppressedRows,
-		"rollup.row_scans":        r.Rollup.RowScans,
+		"nodes.evaluated":            r.Nodes.Evaluated,
+		"nodes.satisfied":            r.Nodes.Satisfied,
+		"nodes.violated":             r.Nodes.Violated,
+		"nodes.pruned_condition1":    r.Nodes.PrunedCondition1,
+		"nodes.pruned_condition2":    r.Nodes.PrunedCondition2,
+		"nodes.over_budget":          r.Nodes.OverBudget,
+		"nodes.errors":               r.Nodes.Errors,
+		"suppressed_rows":            r.SuppressedRows,
+		"rollup.row_scans":           r.Rollup.RowScans,
+		"incremental.groups_recheck": r.Incremental.GroupsRecheck,
+		"incremental.repair_ascents": r.Incremental.RepairAscents,
+		"incremental.cold_fallbacks": r.Incremental.ColdFallbacks,
 	}
 	for _, p := range r.Phases {
 		if p.Phase == PhaseSuppress.String() || p.Phase == PhasePolicy.String() {
@@ -227,6 +249,10 @@ func (r *Report) String() string {
 	if r.BudgetStops > 0 || r.PanicsRecovered > 0 {
 		fmt.Fprintf(&b, "degradation: %d budget stops, %d panics recovered\n",
 			r.BudgetStops, r.PanicsRecovered)
+	}
+	if inc := r.Incremental; inc.GroupsRecheck > 0 || inc.RepairAscents > 0 || inc.ColdFallbacks > 0 {
+		fmt.Fprintf(&b, "incremental: %d groups rechecked, %d repair ascents, %d cold fallbacks\n",
+			inc.GroupsRecheck, inc.RepairAscents, inc.ColdFallbacks)
 	}
 	if len(r.Policies) > 0 {
 		b.WriteString("policies:\n")

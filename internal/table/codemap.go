@@ -64,6 +64,18 @@ func (m *CodeMap) Len() int {
 	return len(m.sparse)
 }
 
+// NewSparseCodeMap builds a CodeMap from an explicit translation table
+// (copied, so the caller's map stays independent). The incremental
+// session uses it to roll base-level group statistics up to its own
+// published-node code space, which no column pair describes.
+func NewSparseCodeMap(m map[int]int) *CodeMap {
+	sp := make(map[int]int, len(m))
+	for k, v := range m {
+		sp[k] = v
+	}
+	return &CodeMap{sparse: sp}
+}
+
 // BuildCodeMap derives the code translation from one column to a
 // row-aligned column: for every row r, Map(from.Code(r)) ==
 // to.Code(r). It errors when the columns disagree on length or when

@@ -388,10 +388,24 @@ func (c *intColumn) CodeRange() (int, int, bool) {
 	return int(c.lo), int(c.hi), true
 }
 
+// invalidate discards the lazily computed range and dictionary memos.
+// Every append must call it: a CodeRange or intDict computed before the
+// column grew would otherwise keep serving stale values, and the packed
+// group-by plans and code remaps built on them would misclassify (or
+// panic on) appended rows. Appends are single-threaded by the Column
+// contract — build phase or ledger mutation — so replacing the
+// sync.Once values with fresh ones is safe.
+func (c *intColumn) invalidate() {
+	c.rangeOnce = sync.Once{}
+	c.dictOnce = sync.Once{}
+	c.dict = nil
+}
+
 func (c *intColumn) AppendValue(v Value) error {
 	if v.Kind() == String {
 		return c.AppendText(v.Str())
 	}
+	c.invalidate()
 	c.vals = append(c.vals, v.Int())
 	return nil
 }
@@ -401,6 +415,7 @@ func (c *intColumn) AppendText(s string) error {
 	if err != nil {
 		return fmt.Errorf("table: cannot parse %q as int: %w", s, err)
 	}
+	c.invalidate()
 	c.vals = append(c.vals, n)
 	return nil
 }

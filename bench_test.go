@@ -18,6 +18,7 @@ import (
 	"psk/internal/experiments"
 	"psk/internal/generalize"
 	"psk/internal/lattice"
+	"psk/internal/loss"
 	"psk/internal/obs"
 	"psk/internal/search"
 	"psk/internal/stream"
@@ -1147,6 +1148,116 @@ func applyToLedger(led *table.Ledger, batch stream.Batch) error {
 		}
 	}
 	return nil
+}
+
+// BenchmarkFrontier measures the utility-aware Pareto frontier pass on
+// the scaled Adult shape (x2 ~100k rows; x20 ~1M rows, skipped under
+// -short). Frontier is one AllMinimal call with the frontier enabled:
+// every satisfying node is scored from its memoized post-suppression
+// statistics, nothing is materialized. AllMinimalThenScore is the
+// workflow the frontier replaces — enumerate the minimal antichain,
+// materialize each node's masked table, and score it with the row-
+// scanning loss oracles. The AllocsPin sub-benchmark is the acceptance
+// gate for the O(groups) claim: one MeasureStats call on the ~1M-row
+// base statistics must allocate proportionally to the group count, far
+// below the row count. `make bench-frontier` snapshots everything into
+// BENCH_frontier.json and `make bench-compare` gates regressions on it.
+func BenchmarkFrontier(b *testing.B) {
+	factors := []int{2, 20}
+	if testing.Short() {
+		factors = factors[:1]
+	}
+	hs, err := dataset.Hierarchies()
+	if err != nil {
+		b.Fatal(err)
+	}
+	qis, conf := dataset.QIs(), dataset.Confidential()
+	m, err := generalize.NewMasker(qis, hs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, factor := range factors {
+		im, err := dataset.GenerateScaled(factor, 2006)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := im.NumRows()
+		cfg := search.Config{
+			QIs:           qis,
+			Confidential:  conf,
+			Hierarchies:   hs,
+			K:             10,
+			P:             2,
+			MaxSuppress:   rows / 100,
+			UseConditions: true,
+		}
+		b.Run(fmt.Sprintf("Frontier/x%d", factor), func(b *testing.B) {
+			c := cfg
+			c.Frontier = search.FrontierConfig{Enabled: true}
+			benchPerRow(b, rows, func() error {
+				res, err := search.AllMinimal(im, c)
+				if err == nil && len(res.Frontier) == 0 {
+					return fmt.Errorf("empty frontier")
+				}
+				return err
+			})
+		})
+		b.Run(fmt.Sprintf("AllMinimalThenScore/x%d", factor), func(b *testing.B) {
+			benchPerRow(b, rows, func() error {
+				res, err := search.AllMinimal(im, cfg)
+				if err != nil {
+					return err
+				}
+				if len(res.Minimal) == 0 {
+					return fmt.Errorf("found nothing")
+				}
+				for _, min := range res.Minimal {
+					rep, err := loss.Measure(loss.Input{
+						Initial: im, Masked: min.Masked, QIs: qis,
+						Node: min.Node, Lattice: m.Lattice(), K: cfg.K,
+					})
+					if err != nil {
+						return err
+					}
+					if rep.Discernibility == 0 {
+						return fmt.Errorf("zero discernibility")
+					}
+				}
+				return nil
+			})
+		})
+		if factor != factors[len(factors)-1] {
+			continue
+		}
+		// AllocsPin: scoring the largest tier's base statistics must cost
+		// O(groups) allocations — the bound that proves no per-row work
+		// hides in the stats-native metrics.
+		b.Run(fmt.Sprintf("AllocsPin/x%d", factor), func(b *testing.B) {
+			s, err := im.GroupStats(qis, conf, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			base, err := loss.NewBaseline(im, qis)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bottom := make(lattice.Node, len(qis))
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, err := loss.MeasureStats(loss.StatsInput{
+					Stats: s, Rows: rows, Baseline: base,
+					Node: bottom, Lattice: m.Lattice(), K: cfg.K,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			})
+			bound := float64(8*s.NumGroups() + 256)
+			b.ReportMetric(allocs, "allocs/score")
+			b.ReportMetric(float64(s.NumGroups()), "groups")
+			if allocs > bound {
+				b.Errorf("MeasureStats allocates %.0f/op over %d groups (bound %.0f) — not O(groups)", allocs, s.NumGroups(), bound)
+			}
+		})
+	}
 }
 
 // BenchmarkObsOverhead measures what the telemetry layer costs the

@@ -83,6 +83,9 @@ func Anon(args []string, stdout, stderr io.Writer) error {
 		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the search; on expiry the best result found so far is used (0 = no limit)")
 		maxNodes  = fs.Int64("max-nodes", 0, "lattice-node evaluation budget for the search (0 = no limit)")
 		deltas    = fs.String("stream", "", "JSONL delta file (adultgen -stream format): anonymize incrementally, republishing after every batch, and write the final masked table")
+		frontier  = fs.Bool("frontier", false, "print the utility-aware Pareto frontier over satisfying nodes as a table on stdout (the masked CSV is then only written with -out)")
+		frontJSON = fs.Bool("frontier-json", false, "like -frontier but emit the frontier as a JSON array")
+		workers   = fs.Int("workers", 0, "worker pool size for lattice evaluation (0 = one per CPU)")
 	)
 	pf := registerPolicyFlags(fs)
 	prof := registerProfileFlags(fs)
@@ -93,6 +96,10 @@ func Anon(args []string, stdout, stderr io.Writer) error {
 	if *in == "" || *jobPath == "" {
 		fs.Usage()
 		return fmt.Errorf("-in and -job are required")
+	}
+	wantFrontier := *frontier || *frontJSON
+	if wantFrontier && *deltas != "" {
+		return fmt.Errorf("-frontier/-frontier-json cannot be combined with -stream")
 	}
 	stopProf, err := prof.start(stderr)
 	if err != nil {
@@ -135,8 +142,10 @@ func Anon(args []string, stdout, stderr io.Writer) error {
 		P:                job.P,
 		MaxSuppress:      job.MaxSuppress,
 		Budget:           psk.Budget{Deadline: *timeout, MaxNodes: *maxNodes},
+		Workers:          *workers,
 		Recorder:         of.rec,
 		Tracer:           of.tracer,
+		Frontier:         psk.FrontierConfig{Enabled: wantFrontier},
 	}
 	pol, err := pf.compose(job.Confidential, job.P, job.K)
 	if err != nil {
@@ -196,6 +205,23 @@ func Anon(args []string, stdout, stderr io.Writer) error {
 	}
 	if len(res.AllMinimal) > 1 {
 		fmt.Fprintf(stderr, "all minimal nodes: %v\n", res.AllMinimal)
+	}
+
+	if wantFrontier {
+		// Frontier mode owns stdout; the masked CSV is only written when
+		// the caller named a file for it.
+		fmt.Fprintf(stderr, "frontier: %d members\n", len(res.Frontier))
+		if *frontJSON {
+			if err := writeFrontierJSON(stdout, res.Frontier); err != nil {
+				return err
+			}
+		} else if err := writeFrontierTable(stdout, res.Frontier); err != nil {
+			return err
+		}
+		if *out != "" {
+			return res.Masked.WriteCSVFile(*out)
+		}
+		return nil
 	}
 
 	if *out == "" {

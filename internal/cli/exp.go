@@ -15,7 +15,7 @@ import (
 // "all" runs them.
 var ExpNames = []string{"attack", "table3", "figure1", "figure2", "figure3",
 	"table4", "example1", "table7", "table8", "ablation", "utility", "methods", "decay", "policy",
-	"telemetry", "budget"}
+	"telemetry", "budget", "frontier"}
 
 // Exp implements pskexp: regenerate the paper's tables and figures.
 func Exp(args []string, stdout, stderr io.Writer) error {
@@ -194,6 +194,13 @@ func Exp(args []string, stdout, stderr io.Writer) error {
 				return err
 			}
 			return emit("E18: budget-bounded search", res.Format())
+		},
+		"frontier": func() error {
+			res, err := experiments.RunFrontier(2000, source, *seed)
+			if err != nil {
+				return err
+			}
+			return emit("E19: utility-aware Pareto frontier", res.Format())
 		},
 	}
 

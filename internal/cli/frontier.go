@@ -1,0 +1,70 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"psk"
+)
+
+// Frontier rendering for pskanon -frontier / -frontier-json. Both
+// renderings are deterministic functions of the frontier slice: fixed
+// column order, fixed float formats, entries in the engine's lattice
+// walk order. Because the frontier itself is byte-identical at every
+// worker count, so is the rendered output.
+
+// frontierRow is the serialized shape of one frontier member.
+type frontierRow struct {
+	Rank             int     `json:"rank"`
+	Node             string  `json:"node"`
+	Height           int     `json:"height"`
+	Groups           int     `json:"groups"`
+	MinGroup         int     `json:"min_group"`
+	Suppressed       int     `json:"suppressed"`
+	Precision        float64 `json:"precision"`
+	Discernibility   int     `json:"discernibility"`
+	AvgGroupRatio    float64 `json:"avg_group_ratio"`
+	SuppressionRatio float64 `json:"suppression_ratio"`
+	EntropyLossBits  float64 `json:"entropy_loss_bits"`
+}
+
+func frontierRows(fr []psk.Frontier) []frontierRow {
+	rows := make([]frontierRow, len(fr))
+	for i, f := range fr {
+		rows[i] = frontierRow{
+			Rank:             f.Rank,
+			Node:             f.Node.String(),
+			Height:           f.Node.Height(),
+			Groups:           f.Groups,
+			MinGroup:         f.MinGroup,
+			Suppressed:       f.Suppressed,
+			Precision:        f.Loss.Precision,
+			Discernibility:   f.Loss.Discernibility,
+			AvgGroupRatio:    f.Loss.AvgGroupRatio,
+			SuppressionRatio: f.Loss.SuppressionRatio,
+			EntropyLossBits:  f.Loss.EntropyLossBits,
+		}
+	}
+	return rows
+}
+
+// writeFrontierTable renders the frontier as an aligned text table.
+func writeFrontierTable(w io.Writer, fr []psk.Frontier) error {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "RANK\tNODE\tHEIGHT\tGROUPS\tMIN\tSUPP\tPREC\tDM\tC_AVG\tSUPP_RATIO\tENTROPY_BITS")
+	for _, r := range frontierRows(fr) {
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\t%.4f\t%d\t%.3f\t%.4f\t%.4f\n",
+			r.Rank, r.Node, r.Height, r.Groups, r.MinGroup, r.Suppressed,
+			r.Precision, r.Discernibility, r.AvgGroupRatio, r.SuppressionRatio, r.EntropyLossBits)
+	}
+	return tw.Flush()
+}
+
+// writeFrontierJSON renders the frontier as a JSON array.
+func writeFrontierJSON(w io.Writer, fr []psk.Frontier) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(frontierRows(fr))
+}

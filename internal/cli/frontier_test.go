@@ -1,0 +1,113 @@
+package cli
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"psk"
+)
+
+// anonFrontier runs pskanon over the patients fixture with the given
+// extra flags and returns (stdout, stderr).
+func anonFrontier(t *testing.T, extra ...string) (string, string) {
+	t.Helper()
+	csvPath, jobPath, _ := writeFixtures(t)
+	args := append([]string{"-in", csvPath, "-job", jobPath}, extra...)
+	var stdout, stderr strings.Builder
+	if err := Anon(args, &stdout, &stderr); err != nil {
+		t.Fatalf("Anon %v: %v\nstderr: %s", extra, err, stderr.String())
+	}
+	return stdout.String(), stderr.String()
+}
+
+// TestAnonFrontierDeterministic pins the acceptance criterion: the
+// rendered frontier is byte-identical across worker counts.
+func TestAnonFrontierDeterministic(t *testing.T) {
+	out1, err1 := anonFrontier(t, "-frontier", "-workers", "1")
+	out4, _ := anonFrontier(t, "-frontier", "-workers", "4")
+	if out1 != out4 {
+		t.Errorf("frontier table differs between -workers 1 and 4:\n--- w1 ---\n%s--- w4 ---\n%s", out1, out4)
+	}
+	if !strings.Contains(out1, "RANK") || !strings.Contains(out1, "ENTROPY_BITS") {
+		t.Errorf("missing table header:\n%s", out1)
+	}
+	if !strings.Contains(err1, "frontier: ") {
+		t.Errorf("stderr missing frontier summary:\n%s", err1)
+	}
+	// Frontier mode without -out must not leak the masked CSV to stdout.
+	if strings.Contains(out1, "Illness") {
+		t.Errorf("masked CSV leaked into frontier stdout:\n%s", out1)
+	}
+}
+
+// TestAnonFrontierJSON checks the JSON rendering: parseable, Pareto
+// rank 0 only by default, every member at or above k, and byte-stable
+// across worker counts.
+func TestAnonFrontierJSON(t *testing.T) {
+	out1, _ := anonFrontier(t, "-frontier-json", "-workers", "1")
+	out4, _ := anonFrontier(t, "-frontier-json", "-workers", "4")
+	if out1 != out4 {
+		t.Errorf("frontier JSON differs between -workers 1 and 4:\n%s\nvs\n%s", out1, out4)
+	}
+	var rows []frontierRow
+	if err := json.Unmarshal([]byte(out1), &rows); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, out1)
+	}
+	if len(rows) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for _, r := range rows {
+		if r.Rank != 0 {
+			t.Errorf("node %s: rank %d on default (Pareto-only) frontier", r.Node, r.Rank)
+		}
+		if r.MinGroup < 3 {
+			t.Errorf("node %s: min group %d < k=3", r.Node, r.MinGroup)
+		}
+		if r.Node == "" || r.Groups <= 0 {
+			t.Errorf("degenerate row: %+v", r)
+		}
+	}
+}
+
+// TestAnonFrontierOut: with -out the masked CSV is still written while
+// the frontier owns stdout.
+func TestAnonFrontierOut(t *testing.T) {
+	csvPath, jobPath, dir := writeFixtures(t)
+	outPath := filepath.Join(dir, "masked.csv")
+	var stdout, stderr strings.Builder
+	if err := Anon([]string{"-in", csvPath, "-job", jobPath, "-frontier", "-out", outPath}, &stdout, &stderr); err != nil {
+		t.Fatalf("Anon: %v\nstderr: %s", err, stderr.String())
+	}
+	masked, err := psk.ReadCSVFile(outPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := psk.IsPSensitiveKAnonymous(masked, []string{"Age", "ZipCode", "Sex"}, []string{"Illness"}, 2, 3)
+	if err != nil || !ok {
+		t.Errorf("masked output not 2-sensitive 3-anonymous: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "RANK") {
+		t.Errorf("frontier table missing from stdout:\n%s", stdout.String())
+	}
+}
+
+// TestAnonFrontierStreamConflict: combining frontier mode with -stream
+// is flag misuse — a plain error (exit 1), not an input error.
+func TestAnonFrontierStreamConflict(t *testing.T) {
+	csvPath, jobPath, dir := writeFixtures(t)
+	deltaPath := filepath.Join(dir, "deltas.jsonl")
+	if err := os.WriteFile(deltaPath, []byte(""), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	err := Anon([]string{"-in", csvPath, "-job", jobPath, "-frontier", "-stream", deltaPath}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("frontier + stream accepted")
+	}
+	if got := ExitCode(err); got != ExitViolation {
+		t.Errorf("exit code %d, want %d (plain error)", got, ExitViolation)
+	}
+}

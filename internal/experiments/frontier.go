@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"psk/internal/core"
+	"psk/internal/dataset"
+	"psk/internal/search"
+	"psk/internal/table"
+)
+
+// E19: the utility-aware Pareto frontier across policy strictness —
+// how the set of undominated releases moves as k, p and composed
+// policies tighten. One AllMinimal pass per configuration with the
+// frontier enabled; every loss score comes from the statistics-native
+// path (nothing is materialized to be scored).
+
+// FrontierExpRow summarizes one configuration's frontier.
+type FrontierExpRow struct {
+	Label   string
+	Members int
+	// Nodes lists the frontier members (walk order, labelled).
+	Nodes string
+	// BestDM / BestEntropy / BestMargin name the member optimal on each
+	// axis, with its value — the corners a publisher chooses between.
+	BestDM      string
+	BestEntropy string
+	BestMargin  string
+}
+
+// FrontierExpResult is the E19 study.
+type FrontierExpResult struct {
+	Size int
+	Rows []FrontierExpRow
+}
+
+// RunFrontier sweeps policy strictness on one Adult sample: plain
+// k-anonymity (p=1), two p-sensitive settings, and two composite
+// policies (adding distinct l-diversity / t-closeness), reporting each
+// configuration's Pareto frontier over the default objectives.
+func RunFrontier(n int, source *table.Table, seed int64) (FrontierExpResult, error) {
+	src := source
+	if src == nil {
+		var err error
+		src, err = dataset.Generate(30000, 2006)
+		if err != nil {
+			return FrontierExpResult{}, err
+		}
+	}
+	im, err := src.Sample(n, seed)
+	if err != nil {
+		return FrontierExpResult{}, err
+	}
+	hs, err := dataset.Hierarchies()
+	if err != nil {
+		return FrontierExpResult{}, err
+	}
+	conf := dataset.Confidential()
+
+	type config struct {
+		label string
+		k, p  int
+		pol   core.Policy
+	}
+	configs := []config{
+		{"k=2 p=1", 2, 1, nil},
+		{"k=5 p=2", 5, 2, nil},
+		{"k=10 p=2", 10, 2, nil},
+		{"k=5 p=2 +ldiv3", 5, 2, core.All(
+			core.PSensitiveKAnonymityPolicy{P: 2, K: 5},
+			core.DistinctLDiversityPolicy{Attr: conf[0], L: 3},
+		)},
+		{"k=5 p=2 +tclose0.5", 5, 2, core.All(
+			core.PSensitiveKAnonymityPolicy{P: 2, K: 5},
+			core.TClosenessPolicy{Attr: conf[0], T: 0.5},
+		)},
+	}
+
+	res := FrontierExpResult{Size: n}
+	for _, c := range configs {
+		cfg := search.Config{
+			QIs:           dataset.QIs(),
+			Confidential:  conf,
+			Hierarchies:   hs,
+			K:             c.k,
+			P:             c.p,
+			MaxSuppress:   n / 100,
+			UseConditions: true,
+			Policy:        c.pol,
+			Frontier:      search.FrontierConfig{Enabled: true},
+		}
+		r, err := search.AllMinimal(im, cfg)
+		if err != nil {
+			return FrontierExpResult{}, err
+		}
+		row := FrontierExpRow{Label: c.label, Members: len(r.Frontier)}
+		if len(r.Frontier) == 0 {
+			row.Nodes, row.BestDM, row.BestEntropy, row.BestMargin = "-", "-", "-", "-"
+			res.Rows = append(res.Rows, row)
+			continue
+		}
+		labels := make([]string, len(r.Frontier))
+		bestDM, bestEnt, bestMargin := 0, 0, 0
+		for i, f := range r.Frontier {
+			labels[i] = f.Node.Label(dataset.LatticePrefixes())
+			if f.Loss.Discernibility < r.Frontier[bestDM].Loss.Discernibility {
+				bestDM = i
+			}
+			if f.Loss.EntropyLossBits < r.Frontier[bestEnt].Loss.EntropyLossBits {
+				bestEnt = i
+			}
+			if f.MinGroup > r.Frontier[bestMargin].MinGroup {
+				bestMargin = i
+			}
+		}
+		row.Nodes = strings.Join(labels, " ")
+		row.BestDM = fmt.Sprintf("%s (%d)", labels[bestDM], r.Frontier[bestDM].Loss.Discernibility)
+		row.BestEntropy = fmt.Sprintf("%s (%.2f bits)", labels[bestEnt], r.Frontier[bestEnt].Loss.EntropyLossBits)
+		row.BestMargin = fmt.Sprintf("%s (min group %d)", labels[bestMargin], r.Frontier[bestMargin].MinGroup)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format renders the frontier study.
+func (r FrontierExpResult) Format() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.Label,
+			fmt.Sprintf("%d", row.Members),
+			row.Nodes,
+			row.BestDM,
+			row.BestEntropy,
+			row.BestMargin,
+		}
+	}
+	return fmt.Sprintf("Pareto frontier vs policy strictness on Adult n=%d (E19):\n%s", r.Size,
+		renderTable([]string{"Config", "Members", "Frontier nodes", "Best DM", "Best entropy", "Best margin"}, rows))
+}

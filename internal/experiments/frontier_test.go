@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"psk/internal/dataset"
+)
+
+// TestRunFrontierShape: one small sweep — every configuration reports
+// a row, frontiers under looser policies are non-empty, and the
+// rendering carries the study's columns.
+func TestRunFrontierShape(t *testing.T) {
+	src, err := dataset.Generate(3000, 2006)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFrontier(600, src, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != 600 || len(res.Rows) != 5 {
+		t.Fatalf("size %d, %d rows", res.Size, len(res.Rows))
+	}
+	if res.Rows[0].Label != "k=2 p=1" || res.Rows[0].Members == 0 {
+		t.Errorf("loosest config has empty frontier: %+v", res.Rows[0])
+	}
+	for _, row := range res.Rows {
+		if row.Members > 0 && (row.BestDM == "-" || row.BestMargin == "-") {
+			t.Errorf("%s: members %d but missing corners: %+v", row.Label, row.Members, row)
+		}
+		if row.Members == 0 && row.Nodes != "-" {
+			t.Errorf("%s: empty frontier with nodes %q", row.Label, row.Nodes)
+		}
+	}
+	out := res.Format()
+	for _, want := range []string{"E19", "Members", "Best DM", "Best entropy", "Best margin"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}

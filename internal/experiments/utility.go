@@ -106,7 +106,10 @@ func RunUtility(n int, ks []int, p int, source *table.Table, seed int64) (Utilit
 		if sr.Found {
 			row.FDNode = sr.Node.Label(dataset.LatticePrefixes())
 			row.FDSuppressed = sr.Suppressed
-			rep, err := loss.Measure(im, sr.Masked, dataset.QIs(), sr.Node, masker.Lattice(), k)
+			rep, err := loss.Measure(loss.Input{
+				Initial: im, Masked: sr.Masked, QIs: dataset.QIs(),
+				Node: sr.Node, Lattice: masker.Lattice(), K: k,
+			})
 			if err != nil {
 				return UtilityResult{}, err
 			}

@@ -130,18 +130,30 @@ func columnEntropy(t *table.Table, attr string) (float64, error) {
 		return 0, err
 	}
 	n := 0
-	for _, c := range vc {
+	counts := make([]int, len(vc))
+	for i, c := range vc {
 		n += c.Count
+		counts[i] = c.Count
 	}
+	return entropyOfCounts(counts, n), nil
+}
+
+// entropyOfCounts is the Shannon entropy (bits) of a count vector
+// summing to n, accumulated in slice order. Both the table path
+// (ValueCounts order: descending count) and the statistics path
+// (marginal counts sorted descending) feed it their counts in
+// descending order, so equal count multisets produce bit-identical
+// sums — the differential tests rely on that.
+func entropyOfCounts(counts []int, n int) float64 {
 	if n == 0 {
-		return 0, nil
+		return 0
 	}
 	h := 0.0
-	for _, c := range vc {
-		p := float64(c.Count) / float64(n)
+	for _, c := range counts {
+		p := float64(c) / float64(n)
 		h -= p * math.Log2(p)
 	}
-	return h, nil
+	return h
 }
 
 // Report bundles every metric for one masked microdata.
@@ -155,26 +167,41 @@ type Report struct {
 	EntropyLossBits  float64
 }
 
-// Measure computes the full metric report for a masked microdata mm
-// derived from im by generalizing to node (with the given lattice and
-// per-QI hierarchy heights) and suppressing down to mm.NumRows() rows.
-func Measure(im, mm *table.Table, qis []string, node lattice.Node, lat *lattice.Lattice, k int) (Report, error) {
-	heights := lat.Dims()
-	rep := Report{Node: node.Clone(), HeightRatio: HeightRatio(node, lat)}
+// Input names the arguments of a table-based measurement: the masked
+// microdata Masked was derived from Initial by generalizing the QIs to
+// Node (over Lattice) and suppressing down to Masked.NumRows() rows.
+// StatsInput is the statistics-native twin for callers that never
+// materialize the masked table.
+type Input struct {
+	Initial *table.Table
+	Masked  *table.Table
+	QIs     []string
+	Node    lattice.Node
+	Lattice *lattice.Lattice
+	K       int
+}
+
+// Measure computes the full metric report for one masked microdata by
+// scanning the released table. It is the differential oracle for
+// MeasureStats, which computes the identical report from group
+// statistics alone.
+func Measure(in Input) (Report, error) {
+	heights := in.Lattice.Dims()
+	rep := Report{Node: in.Node.Clone(), HeightRatio: HeightRatio(in.Node, in.Lattice)}
 	var err error
-	if rep.Precision, err = Precision(node, heights, im.NumRows(), mm.NumRows()); err != nil {
+	if rep.Precision, err = Precision(in.Node, heights, in.Initial.NumRows(), in.Masked.NumRows()); err != nil {
 		return Report{}, err
 	}
-	if rep.Discernibility, err = Discernibility(mm, qis, im.NumRows()); err != nil {
+	if rep.Discernibility, err = Discernibility(in.Masked, in.QIs, in.Initial.NumRows()); err != nil {
 		return Report{}, err
 	}
-	if rep.AvgGroupRatio, err = AvgGroupRatio(mm, qis, k); err != nil {
+	if rep.AvgGroupRatio, err = AvgGroupRatio(in.Masked, in.QIs, in.K); err != nil {
 		return Report{}, err
 	}
-	if rep.SuppressionRatio, err = SuppressionRatio(im.NumRows(), mm.NumRows()); err != nil {
+	if rep.SuppressionRatio, err = SuppressionRatio(in.Initial.NumRows(), in.Masked.NumRows()); err != nil {
 		return Report{}, err
 	}
-	if rep.EntropyLossBits, err = EntropyLoss(im, mm, qis); err != nil {
+	if rep.EntropyLossBits, err = EntropyLoss(in.Initial, in.Masked, in.QIs); err != nil {
 		return Report{}, err
 	}
 	return rep, nil

@@ -188,7 +188,10 @@ func TestMeasure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Measure(tbl, mm, []string{"Sex", "ZipCode"}, node, m.Lattice(), 3)
+	rep, err := Measure(Input{
+		Initial: tbl, Masked: mm, QIs: []string{"Sex", "ZipCode"},
+		Node: node, Lattice: m.Lattice(), K: 3,
+	})
 	if err != nil {
 		t.Fatalf("Measure: %v", err)
 	}

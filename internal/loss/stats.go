@@ -1,0 +1,152 @@
+package loss
+
+import (
+	"fmt"
+	"sort"
+
+	"psk/internal/lattice"
+	"psk/internal/table"
+)
+
+// This file is the statistics-native side of the package: every metric
+// that Measure derives by scanning the released table is recomputed
+// here from post-suppression group statistics (per-group sizes plus the
+// QI codes of each group), so scoring a lattice node costs O(groups)
+// instead of O(rows) and no node has to be materialized just to be
+// scored. The table-based functions in metrics.go remain the
+// differential oracles; the tests pin the two paths byte-identical
+// (integers exactly, floats bit-for-bit, since both sides sum the same
+// terms in the same order).
+
+// Baseline memoizes the per-QI Shannon entropies of the *initial*
+// microdata, which EntropyLoss would otherwise recompute for every
+// scored node (O(rows·QIs) per node). Build it once per search with
+// NewBaseline; it is immutable afterwards and safe to share.
+type Baseline struct {
+	qis       []string
+	entropies []float64
+}
+
+// NewBaseline scans the initial microdata once and records the entropy
+// of every QI column, in the given QI order (which must match the key
+// order of the statistics later measured against it).
+func NewBaseline(im *table.Table, qis []string) (*Baseline, error) {
+	b := &Baseline{
+		qis:       append([]string(nil), qis...),
+		entropies: make([]float64, len(qis)),
+	}
+	for i, q := range qis {
+		h, err := columnEntropy(im, q)
+		if err != nil {
+			return nil, err
+		}
+		b.entropies[i] = h
+	}
+	return b, nil
+}
+
+// QIs returns the attribute order the baseline was computed over.
+func (b *Baseline) QIs() []string { return append([]string(nil), b.qis...) }
+
+// DiscernibilityStats is Discernibility from post-suppression group
+// statistics: every released tuple is charged its group size, every
+// suppressed tuple the original table size n. Group code vectors and
+// released values are in bijection (generalized columns intern one code
+// per distinct label), so the group-size multiset here equals the
+// oracle's GroupBy partition and the integer sum is identical.
+func DiscernibilityStats(s *table.GroupStats, n int) (int, error) {
+	if n < s.NumRows {
+		return 0, fmt.Errorf("loss: original size %d smaller than released %d", n, s.NumRows)
+	}
+	dm := 0
+	for i := range s.Groups {
+		sz := s.Groups[i].Size
+		dm += sz * sz
+	}
+	dm += (n - s.NumRows) * n
+	return dm, nil
+}
+
+// AvgGroupRatioStats is AvgGroupRatio from post-suppression group
+// statistics: C_AVG = (released / groups) / k.
+func AvgGroupRatioStats(s *table.GroupStats, k int) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("loss: k must be >= 1, got %d", k)
+	}
+	if s.NumRows == 0 {
+		return 0, nil
+	}
+	return float64(s.NumRows) / float64(s.NumGroups()) / float64(k), nil
+}
+
+// EntropyLossStats is EntropyLoss from post-suppression group
+// statistics against a memoized Baseline: for each QI the marginal
+// value counts are accumulated over the groups' key codes, sorted
+// descending (the order ValueCounts reports, so the float sum is
+// bit-identical to the oracle's), and the masked entropy is subtracted
+// from the baseline entropy.
+func EntropyLossStats(s *table.GroupStats, base *Baseline) (float64, error) {
+	if base == nil {
+		return 0, fmt.Errorf("loss: nil baseline")
+	}
+	if s.NumQI != len(base.entropies) {
+		return 0, fmt.Errorf("loss: stats carry %d QI key columns, baseline has %d", s.NumQI, len(base.entropies))
+	}
+	total := 0.0
+	marginal := make(map[int]int)
+	var counts []int
+	for i := range base.entropies {
+		clear(marginal)
+		for g := range s.Groups {
+			marginal[s.Groups[g].Codes[i]] += s.Groups[g].Size
+		}
+		counts = counts[:0]
+		for _, c := range marginal {
+			counts = append(counts, c)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+		total += base.entropies[i] - entropyOfCounts(counts, s.NumRows)
+	}
+	return total, nil
+}
+
+// StatsInput names the arguments of a statistics-native measurement:
+// Stats are the post-suppression group statistics of the release at
+// Node, Rows the original (pre-suppression) row count, Baseline the
+// per-search entropy memo of the initial microdata.
+type StatsInput struct {
+	Stats    *table.GroupStats
+	Rows     int
+	Baseline *Baseline
+	Node     lattice.Node
+	Lattice  *lattice.Lattice
+	K        int
+}
+
+// MeasureStats computes the full metric report from group statistics
+// alone — no masked table. It returns exactly what Measure returns for
+// the materialized release the statistics describe: the integer metrics
+// match exactly and the float metrics bit-for-bit (both paths run the
+// same expressions over the same operands in the same order).
+func MeasureStats(in StatsInput) (Report, error) {
+	heights := in.Lattice.Dims()
+	rep := Report{Node: in.Node.Clone(), HeightRatio: HeightRatio(in.Node, in.Lattice)}
+	kept := in.Stats.NumRows
+	var err error
+	if rep.Precision, err = Precision(in.Node, heights, in.Rows, kept); err != nil {
+		return Report{}, err
+	}
+	if rep.Discernibility, err = DiscernibilityStats(in.Stats, in.Rows); err != nil {
+		return Report{}, err
+	}
+	if rep.AvgGroupRatio, err = AvgGroupRatioStats(in.Stats, in.K); err != nil {
+		return Report{}, err
+	}
+	if rep.SuppressionRatio, err = SuppressionRatio(in.Rows, kept); err != nil {
+		return Report{}, err
+	}
+	if rep.EntropyLossBits, err = EntropyLossStats(in.Stats, in.Baseline); err != nil {
+		return Report{}, err
+	}
+	return rep, nil
+}

@@ -154,6 +154,9 @@ type Recorder struct {
 
 	groupsRecheck, repairAscents, coldFallbacks atomic.Int64
 
+	frontierScored, frontierMembers     atomic.Int64
+	frontierDominated, frontierCutSkips atomic.Int64
+
 	mu       sync.Mutex
 	policies map[string]*policyAgg
 }
@@ -339,6 +342,34 @@ func (r *Recorder) ColdFallback() {
 		return
 	}
 	r.coldFallbacks.Add(1)
+}
+
+// FrontierScored records one satisfying lattice node scored with the
+// statistics-native loss metrics during a frontier scan.
+func (r *Recorder) FrontierScored() {
+	if r == nil {
+		return
+	}
+	r.frontierScored.Add(1)
+}
+
+// FrontierCutSkip records one lattice node the frontier scan skipped
+// because it lies in the dominated up-set of an already-scored node.
+func (r *Recorder) FrontierCutSkip() {
+	if r == nil {
+		return
+	}
+	r.frontierCutSkips.Add(1)
+}
+
+// FrontierReduced records one dominance reduction: scored entries in,
+// kept frontier members out.
+func (r *Recorder) FrontierReduced(scored, kept int64) {
+	if r == nil {
+		return
+	}
+	r.frontierMembers.Add(kept)
+	r.frontierDominated.Add(scored - kept)
 }
 
 // PolicyEval records one policy evaluation (by policy name) started at

@@ -39,6 +39,9 @@ type Report struct {
 	// Incremental summarizes streaming-session work (all zero for batch
 	// searches).
 	Incremental IncrementalStats `json:"incremental"`
+	// Frontier summarizes the Pareto frontier pass (all zero unless the
+	// search ran in frontier mode).
+	Frontier FrontierStats `json:"frontier"`
 }
 
 // IncrementalStats summarizes an incremental session's republish work.
@@ -50,6 +53,19 @@ type IncrementalStats struct {
 	RepairAscents int64 `json:"repair_ascents"`
 	// ColdFallbacks: full batch-strategy runs (initial publish included).
 	ColdFallbacks int64 `json:"cold_fallbacks"`
+}
+
+// FrontierStats summarizes the frontier scan and its dominance
+// reduction.
+type FrontierStats struct {
+	// Scored: satisfying nodes scored with the stats-native metrics.
+	Scored int64 `json:"scored"`
+	// Members: entries surviving the dominance reduction.
+	Members int64 `json:"members"`
+	// Dominated: scored entries the reduction eliminated.
+	Dominated int64 `json:"dominated"`
+	// CutSkipped: nodes skipped as members of a dominated up-set.
+	CutSkipped int64 `json:"cut_skipped"`
 }
 
 // NodeCounts is the verdict breakdown of node evaluations.
@@ -175,6 +191,12 @@ func (r *Recorder) Snapshot() *Report {
 		RepairAscents: r.repairAscents.Load(),
 		ColdFallbacks: r.coldFallbacks.Load(),
 	}
+	rep.Frontier = FrontierStats{
+		Scored:     r.frontierScored.Load(),
+		Members:    r.frontierMembers.Load(),
+		Dominated:  r.frontierDominated.Load(),
+		CutSkipped: r.frontierCutSkips.Load(),
+	}
 	return rep
 }
 
@@ -201,6 +223,10 @@ func (r *Report) DeterministicCounters() map[string]int64 {
 		"incremental.groups_recheck": r.Incremental.GroupsRecheck,
 		"incremental.repair_ascents": r.Incremental.RepairAscents,
 		"incremental.cold_fallbacks": r.Incremental.ColdFallbacks,
+		"frontier.scored":            r.Frontier.Scored,
+		"frontier.members":           r.Frontier.Members,
+		"frontier.dominated":         r.Frontier.Dominated,
+		"frontier.cut_skipped":       r.Frontier.CutSkipped,
 	}
 	for _, p := range r.Phases {
 		if p.Phase == PhaseSuppress.String() || p.Phase == PhasePolicy.String() {
@@ -253,6 +279,10 @@ func (r *Report) String() string {
 	if inc := r.Incremental; inc.GroupsRecheck > 0 || inc.RepairAscents > 0 || inc.ColdFallbacks > 0 {
 		fmt.Fprintf(&b, "incremental: %d groups rechecked, %d repair ascents, %d cold fallbacks\n",
 			inc.GroupsRecheck, inc.RepairAscents, inc.ColdFallbacks)
+	}
+	if fr := r.Frontier; fr.Scored > 0 || fr.CutSkipped > 0 {
+		fmt.Fprintf(&b, "frontier: %d scored, %d members, %d dominated, %d cut-skipped\n",
+			fr.Scored, fr.Members, fr.Dominated, fr.CutSkipped)
 	}
 	if len(r.Policies) > 0 {
 		b.WriteString("policies:\n")

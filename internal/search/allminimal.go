@@ -80,6 +80,9 @@ func AllMinimal(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 			break
 		}
 	}
+	if err := attachFrontier(eval, lat, true, &res.Stats, &res.Frontier); err != nil {
+		return ExhaustiveResult{}, err
+	}
 	res.StopReason = eval.lim.stopReason()
 	res.Report = cfg.Recorder.Snapshot()
 	return res, nil

@@ -95,6 +95,12 @@ type Config struct {
 	// cache memory (see Budget). The zero value is unlimited and costs
 	// one pointer compare per node.
 	Budget Budget
+	// Frontier, when enabled, adds a utility-aware Pareto frontier pass
+	// to the search (frontier.go): every satisfying lattice node is
+	// scored with the statistics-native loss metrics and the result's
+	// Frontier field receives the dominance-reduced set. The pass shares
+	// the search's roll-up store and budget.
+	Frontier FrontierConfig
 }
 
 // DefaultWorkers returns the recommended Config.Workers value: the
@@ -135,6 +141,14 @@ func (c Config) validate() (*generalize.Masker, error) {
 	}
 	if c.Budget.Deadline < 0 || c.Budget.MaxNodes < 0 || c.Budget.MaxCacheBytes < 0 {
 		return nil, fmt.Errorf("search: negative budget limit %+v", c.Budget)
+	}
+	if c.Frontier.MaxRank < 0 {
+		return nil, fmt.Errorf("search: negative frontier rank %d", c.Frontier.MaxRank)
+	}
+	for _, o := range c.Frontier.Objectives {
+		if o >= numObjectives {
+			return nil, fmt.Errorf("search: unknown frontier objective %d", uint8(o))
+		}
 	}
 	if c.Hierarchies == nil {
 		return nil, fmt.Errorf("search: nil hierarchy set")
@@ -245,5 +259,9 @@ type Result struct {
 	// (Found may be false even though an uncancelled search would have
 	// succeeded).
 	StopReason StopReason
+	// Frontier is the dominance-reduced set of satisfying nodes with
+	// their stats-native loss scores, in lattice walk order; nil unless
+	// Config.Frontier.Enabled.
+	Frontier []FrontierEntry
 }
 

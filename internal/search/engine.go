@@ -50,6 +50,12 @@ type evaluator struct {
 	// outcome.masked (Incognito's non-final subsets only consume the
 	// verdict), so satisfying nodes skip building the masked table.
 	noMaterialize bool
+	// keepStats tells both evaluation paths to retain the
+	// post-suppression group statistics and the policy verdict of
+	// satisfying nodes on the outcome (outcome.post / outcome.res). The
+	// frontier scan sets it so nodes can be scored from O(groups)
+	// statistics without materializing anything.
+	keepStats bool
 	// rec and tracer are the telemetry sinks (Config.Recorder/Tracer);
 	// both are nil-safe, so the hot path calls them unguarded and the
 	// disabled configuration costs one compare per call site.
@@ -105,6 +111,13 @@ type outcome struct {
 	suppressed int
 	stats      Stats
 	err        error
+	// post and res are only retained when the evaluator's keepStats flag
+	// is set and the node satisfied: the post-suppression group
+	// statistics the verdict ran on, and the verdict itself. GroupStats
+	// returns plain heap data (its arena scratch is released internally),
+	// so retaining it here is safe.
+	post *table.GroupStats
+	res  core.Result
 }
 
 // evalNode runs the property check at one node. The bounds are reused
@@ -189,6 +202,9 @@ func (e *evaluator) evalNode(node lattice.Node) outcome {
 	}
 	if e.verdict(res, &o) {
 		o.ok, o.masked, o.suppressed = true, mm, suppressed
+		if e.keepStats {
+			o.post, o.res = ps, res
+		}
 	}
 	return o
 }
@@ -259,6 +275,9 @@ func (e *evaluator) evalNodeStats(node lattice.Node) outcome {
 	}
 	if e.verdict(res, &o) {
 		accept()
+		if o.ok && e.keepStats {
+			o.post, o.res = post, res
+		}
 	}
 	return o
 }

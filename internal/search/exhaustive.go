@@ -32,6 +32,10 @@ type ExhaustiveResult struct {
 	// nodes the budget skipped may be missing, so minimality is only
 	// relative to the evaluated set).
 	StopReason StopReason
+	// Frontier is the dominance-reduced set of satisfying nodes with
+	// their stats-native loss scores, in lattice walk order; nil unless
+	// Config.Frontier.Enabled.
+	Frontier []FrontierEntry
 }
 
 // Exhaustive evaluates every node of the generalization lattice and
@@ -77,6 +81,9 @@ func Exhaustive(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 				break
 			}
 		}
+	}
+	if err := attachFrontier(eval, m.Lattice(), false, &res.Stats, &res.Frontier); err != nil {
+		return ExhaustiveResult{}, err
 	}
 	res.StopReason = eval.lim.stopReason()
 	res.Report = cfg.Recorder.Snapshot()

@@ -53,6 +53,11 @@ func BottomUp(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 			for _, hit := range levelHits {
 				res.Satisfying = append(res.Satisfying, hit.Node)
 			}
+			// BottomUp makes no monotonicity assumption, so the frontier
+			// pass must not cut up-sets either.
+			if err := attachFrontier(eval, lat, false, &res.Stats, &res.Frontier); err != nil {
+				return ExhaustiveResult{}, err
+			}
 			res.StopReason = eval.lim.stopReason()
 			res.Report = cfg.Recorder.Snapshot()
 			return res, nil
@@ -60,6 +65,9 @@ func BottomUp(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 		if eval.lim.tripped() {
 			break
 		}
+	}
+	if err := attachFrontier(eval, lat, false, &res.Stats, &res.Frontier); err != nil {
+		return ExhaustiveResult{}, err
 	}
 	res.StopReason = eval.lim.stopReason()
 	res.Report = cfg.Recorder.Snapshot()

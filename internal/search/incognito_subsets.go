@@ -30,6 +30,10 @@ type IncognitoResult struct {
 	// genuinely evaluated and satisfied; subsets or levels the budget
 	// skipped may hide further solutions).
 	StopReason StopReason
+	// Frontier is the dominance-reduced set of satisfying full-lattice
+	// nodes with their stats-native loss scores, in lattice walk order;
+	// nil unless Config.Frontier.Enabled.
+	Frontier []FrontierEntry
 }
 
 // Incognito implements the subset-lattice search of LeFevre, DeWitt and
@@ -158,6 +162,10 @@ func Incognito(im *table.Table, cfg Config) (IncognitoResult, error) {
 		}
 	}
 
+	// fullEval is the evaluator of the final full-QI pass, captured so
+	// the frontier scan can reuse its memoized roll-up statistics.
+	var fullEval *evaluator
+
 subsets:
 	for size := 1; size <= mAttrs; size++ {
 		for _, mask := range masks[size] {
@@ -181,6 +189,9 @@ subsets:
 			// outcomes; smaller subsets exist purely to prune, so their
 			// stats-path evaluations stop at the verdict.
 			subEval.noMaterialize = size < mAttrs
+			if size == mAttrs {
+				fullEval = subEval
+			}
 			if s := projStats[mask]; s != nil && subEval.rollups != nil {
 				subEval.rollups.seed(make(lattice.Node, size), s)
 			}
@@ -245,6 +256,24 @@ subsets:
 				sortMinimal(fullMinimal)
 				res.Minimal = fullMinimal
 			}
+		}
+	}
+	if cfg.Frontier.Enabled {
+		if fullEval == nil {
+			// The budget tripped before the full-QI pass ran. Build an
+			// evaluator over the full lattice anyway: it shares the tripped
+			// limiter, so the scan no-ops deterministically, and a deadline
+			// trip mid-strategy still yields a valid (possibly empty)
+			// partial frontier.
+			fullEval = newLimitedEvaluator(im, m, sharedCache, cfg, bounds, lim)
+			if s := projStats[uint32(1<<mAttrs)-1]; s != nil && fullEval.rollups != nil {
+				fullEval.rollups.seed(make(lattice.Node, mAttrs), s)
+			}
+		}
+		// Incognito assumes monotonicity (the subset property), so the
+		// frontier scan may cut dominated up-sets.
+		if err := attachFrontier(fullEval, m.Lattice(), true, &res.Stats, &res.Frontier); err != nil {
+			return IncognitoResult{}, err
 		}
 	}
 	res.StopReason = lim.stopReason()

@@ -91,12 +91,16 @@ func Samarati(im *table.Table, cfg Config) (Result, error) {
 			found = r
 		}
 	}
+	if err := attachFrontier(eval, lat, true, &res.Stats, &res.Frontier); err != nil {
+		return Result{}, err
+	}
 	res.StopReason = eval.lim.stopReason()
 	if found == nil {
 		res.Report = cfg.Recorder.Snapshot()
 		return res, nil
 	}
 	found.Stats = res.Stats
+	found.Frontier = res.Frontier
 	found.StopReason = res.StopReason
 	found.Report = cfg.Recorder.Snapshot()
 	return *found, nil

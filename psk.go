@@ -201,6 +201,11 @@ type Config struct {
 	// consumed and cache memory; see Budget. The zero value is
 	// unlimited.
 	Budget Budget
+	// Frontier, when enabled, adds a utility-aware Pareto frontier pass:
+	// every satisfying lattice node is scored with the stats-native loss
+	// metrics and Result.Frontier receives the dominance-reduced set.
+	// See FrontierConfig.
+	Frontier FrontierConfig
 }
 
 // DefaultWorkers returns the recommended Config.Workers value for
@@ -222,6 +227,7 @@ func (c Config) searchConfig() search.Config {
 		Tracer:        c.Tracer,
 		Context:       c.Context,
 		Budget:        c.Budget,
+		Frontier:      c.Frontier,
 	}
 }
 
@@ -270,6 +276,11 @@ type Result struct {
 	// run, otherwise the context/budget limit that tripped first — the
 	// rest of the result is then the valid best-so-far partial state.
 	StopReason StopReason
+	// Frontier is the utility-aware Pareto frontier over satisfying
+	// nodes, each entry scored with the stats-native loss metrics and
+	// tagged with its dominance rank; nil unless Config.Frontier was
+	// enabled.
+	Frontier []Frontier
 }
 
 // Anonymize searches the generalization lattice for a p-k-minimal
@@ -282,7 +293,7 @@ func Anonymize(im *Table, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Found: r.Found, Node: r.Node, Masked: r.Masked, Suppressed: r.Suppressed, Report: r.Report, StopReason: r.StopReason}, nil
+		return &Result{Found: r.Found, Node: r.Node, Masked: r.Masked, Suppressed: r.Suppressed, Report: r.Report, StopReason: r.StopReason, Frontier: r.Frontier}, nil
 	case AlgorithmBottomUp:
 		r, err := search.BottomUp(im, cfg.searchConfig())
 		if err != nil {
@@ -301,7 +312,7 @@ func Anonymize(im *Table, cfg Config) (*Result, error) {
 }
 
 func exhaustiveResult(r search.ExhaustiveResult) *Result {
-	out := &Result{Report: r.Report, StopReason: r.StopReason}
+	out := &Result{Report: r.Report, StopReason: r.StopReason, Frontier: r.Frontier}
 	if len(r.Minimal) == 0 {
 		return out
 	}
@@ -394,6 +405,37 @@ func SummarizeAttack(links []Linkage) AttackSummary { return risk.Summarize(link
 // UtilityReport bundles information-loss metrics for a masking.
 type UtilityReport = loss.Report
 
+// Frontier is one member of the utility-aware Pareto frontier a
+// frontier-mode search returns: the node, its (satisfied) policy
+// verdict, the stats-native loss report, the release summary and the
+// dominance rank. See Config.Frontier.
+type Frontier = search.FrontierEntry
+
+// FrontierConfig switches a search into frontier mode; see
+// Config.Frontier and DefaultObjectives.
+type FrontierConfig = search.FrontierConfig
+
+// Objective identifies one minimized axis of the frontier reduction.
+type Objective = search.Objective
+
+// Frontier objectives (see the search package for the minimization
+// conventions — ObjPrecision and ObjMargin fold their "bigger is
+// better" quantities into minimized coordinates).
+const (
+	ObjHeight         = search.ObjHeight
+	ObjPrecision      = search.ObjPrecision
+	ObjDiscernibility = search.ObjDiscernibility
+	ObjAvgGroup       = search.ObjAvgGroup
+	ObjSuppression    = search.ObjSuppression
+	ObjEntropy        = search.ObjEntropy
+	ObjMargin         = search.ObjMargin
+)
+
+// DefaultObjectives returns the frontier axes used when
+// FrontierConfig.Objectives is empty: discernibility, entropy loss and
+// suppression traded against the privacy margin.
+func DefaultObjectives() []Objective { return search.DefaultObjectives() }
+
 // MeasureUtility computes the loss metrics of masked microdata mm
 // derived from im by generalizing the QIs to node under cfg's
 // hierarchies.
@@ -402,7 +444,10 @@ func MeasureUtility(im, mm *Table, cfg Config, node Node) (UtilityReport, error)
 	if err != nil {
 		return UtilityReport{}, err
 	}
-	return loss.Measure(im, mm, cfg.QuasiIdentifiers, node, m.Lattice(), cfg.K)
+	return loss.Measure(loss.Input{
+		Initial: im, Masked: mm, QIs: cfg.QuasiIdentifiers,
+		Node: node, Lattice: m.Lattice(), K: cfg.K,
+	})
 }
 
 // RiskMeasures aggregates group-size-based re-identification risk
@@ -518,7 +563,7 @@ func AnonymizeIncognito(im *Table, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Report: r.Report, StopReason: r.StopReason}
+	out := &Result{Report: r.Report, StopReason: r.StopReason, Frontier: r.Frontier}
 	if len(r.Minimal) == 0 {
 		return out, nil
 	}

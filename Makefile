@@ -52,15 +52,16 @@ bench:
 # layer's win over the row-scanning engine, the policy benchmark
 # into BENCH_policy.json, the record of what composing properties
 # costs the search relative to the built-in single-property target,
-# and the telemetry overhead benchmark into BENCH_obs.json, the record
-# that a disabled recorder costs the search at most ~2% (nil-receiver
-# fast path) and an attached one stays in the same ballpark.
+# and the telemetry benchmarks into BENCH_obs.json, the record that a
+# disabled recorder costs the search at most ~2% (nil-receiver fast
+# path), an attached one stays in the same ballpark, and the full live
+# observatory (recorder + sampler + HTTP server) tracks the bare search.
 bench-json: bench-incr
 	$(GO) test -run '^$$' -bench '^BenchmarkRollup$$' -benchmem -benchtime 10x . \
 		| $(GO) run ./cmd/benchjson > BENCH_rollup.json
 	$(GO) test -run '^$$' -bench '^BenchmarkPolicy$$' -benchmem -benchtime 10x . \
 		| $(GO) run ./cmd/benchjson > BENCH_policy.json
-	$(GO) test -run '^$$' -bench '^BenchmarkObsOverhead$$' -benchmem -benchtime 10x . \
+	$(GO) test -run '^$$' -bench '^BenchmarkObs(Overhead|Live)$$' -benchmem -benchtime 10x . \
 		| $(GO) run ./cmd/benchjson > BENCH_obs.json
 	$(GO) test -run '^$$' -bench '^BenchmarkParallelSearch$$' -benchmem -benchtime 10x . \
 		| $(GO) run ./cmd/benchjson > BENCH_parallel.json
@@ -103,7 +104,7 @@ bench-compare:
 		| $(GO) run ./cmd/benchjson -compare BENCH_parallel.json -tolerance $(BENCH_TOLERANCE)
 	$(GO) test -run '^$$' -bench '^BenchmarkPolicy$$' -benchmem -benchtime 10x . \
 		| $(GO) run ./cmd/benchjson -compare BENCH_policy.json -tolerance $(BENCH_TOLERANCE)
-	$(GO) test -run '^$$' -bench '^BenchmarkObsOverhead$$' -benchmem -benchtime 10x . \
+	$(GO) test -run '^$$' -bench '^BenchmarkObs(Overhead|Live)$$' -benchmem -benchtime 10x . \
 		| $(GO) run ./cmd/benchjson -compare BENCH_obs.json -tolerance $(BENCH_TOLERANCE)
 	$(GO) test -run '^$$' -bench '^BenchmarkScale$$' -benchmem -benchtime 1x . \
 		| $(GO) run ./cmd/benchjson -compare BENCH_scale.json -tolerance $(SCALE_TOLERANCE)

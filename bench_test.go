@@ -1323,3 +1323,69 @@ func BenchmarkObsOverhead(b *testing.B) {
 		b.Run(fmt.Sprintf("Incognito/%s", v.name), func(b *testing.B) { run(b, v.observe, incognito) })
 	}
 }
+
+// BenchmarkObsLive measures the full live observatory against the bare
+// search: Off is the nil-recorder baseline, Live attaches a recorder, a
+// running 1ms sampler and the HTTP debug server (nothing scraping it) —
+// the standing cost of having /metrics and /progress answerable while a
+// search is in flight. The handlers only read atomics, so Live must
+// track Off closely; BENCH_obs.json records both and `make
+// bench-compare` gates regressions.
+func BenchmarkObsLive(b *testing.B) {
+	src, err := dataset.Generate(30000, 2006)
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := src.Sample(1000, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs, err := dataset.Hierarchies()
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := search.Config{
+		QIs:           dataset.QIs(),
+		Confidential:  dataset.Confidential(),
+		Hierarchies:   hs,
+		K:             3,
+		P:             2,
+		MaxSuppress:   10,
+		UseConditions: true,
+	}
+	run := func(cfg search.Config) {
+		res, err := search.Samarati(im, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Found {
+			b.Fatal("found nothing")
+		}
+	}
+	b.Run("Off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(base)
+		}
+	})
+	b.Run("Live", func(b *testing.B) {
+		rec := obs.NewRecorder()
+		sampler := obs.NewSampler(rec, time.Millisecond, 512)
+		sampler.Start()
+		defer sampler.Stop()
+		srv, err := obs.NewServer("127.0.0.1:0", rec, sampler)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		cfg := base
+		cfg.Recorder = rec
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(cfg)
+		}
+		b.StopTimer()
+		if rec.Progress().NodesEvaluated == 0 {
+			b.Fatal("recorder saw no work")
+		}
+	})
+}

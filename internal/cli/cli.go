@@ -106,7 +106,7 @@ func Anon(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	defer stopProf()
-	if err := of.setup(); err != nil {
+	if err := of.setup(stderr); err != nil {
 		return err
 	}
 	defer of.close(stderr)
@@ -325,7 +325,7 @@ func Check(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	defer stopProf()
-	if err := of.setup(); err != nil {
+	if err := of.setup(stderr); err != nil {
 		return err
 	}
 	defer of.close(stderr)

@@ -15,14 +15,14 @@ import (
 // "all" runs them.
 var ExpNames = []string{"attack", "table3", "figure1", "figure2", "figure3",
 	"table4", "example1", "table7", "table8", "ablation", "utility", "methods", "decay", "policy",
-	"telemetry", "budget", "frontier"}
+	"telemetry", "budget", "frontier", "observatory"}
 
 // Exp implements pskexp: regenerate the paper's tables and figures.
 func Exp(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("pskexp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp   = fs.String("exp", "all", "experiment to run (all, "+strings.Join(ExpNames, ", ")+")")
+		exp      = fs.String("exp", "all", "experiment to run (all, "+strings.Join(ExpNames, ", ")+")")
 		adult    = fs.String("adult", "", "path to a real UCI adult.data file (default: synthetic Adult)")
 		seed     = fs.Int64("seed", 17, "sample seed for the Adult experiments")
 		ts       = fs.Int("ts", 0, "suppression threshold for Table 8")
@@ -40,7 +40,7 @@ func Exp(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	defer stopProf()
-	if err := of.setup(); err != nil {
+	if err := of.setup(stderr); err != nil {
 		return err
 	}
 	defer of.close(stderr)
@@ -201,6 +201,13 @@ func Exp(args []string, stdout, stderr io.Writer) error {
 				return err
 			}
 			return emit("E19: utility-aware Pareto frontier", res.Format())
+		},
+		"observatory": func() error {
+			res, err := experiments.RunObservatory(20000, 3, 2, source, *seed)
+			if err != nil {
+				return err
+			}
+			return emit("E20: live observatory", res.Format())
 		},
 	}
 

@@ -1,0 +1,217 @@
+package cli
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// obsAddrWriter is a goroutine-safe stderr sink that announces the
+// observatory's bound address as soon as the CLI prints it.
+type obsAddrWriter struct {
+	mu    sync.Mutex
+	b     strings.Builder
+	addrC chan string
+	sent  bool
+}
+
+func newObsAddrWriter() *obsAddrWriter {
+	return &obsAddrWriter{addrC: make(chan string, 1)}
+}
+
+func (w *obsAddrWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.b.Write(p)
+	if !w.sent {
+		s := w.b.String()
+		if i := strings.Index(s, "listening on http://"); i >= 0 {
+			rest := s[i+len("listening on http://"):]
+			if j := strings.IndexAny(rest, " \n"); j > 0 {
+				w.addrC <- rest[:j]
+				w.sent = true
+			}
+		}
+	}
+	return len(p), nil
+}
+
+func (w *obsAddrWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+func obsGet(t *testing.T, addr, path string) []byte {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", path, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestObsLive drives the whole live-observability loop the CI obs-live
+// job exercises: pskanon runs with -obs-listen, an external poller
+// scrapes /healthz, /progress and /metrics while the process is up, the
+// -obs-linger grace keeps the server alive until the final report is
+// scraped, and the final /metrics scrape must equal the -metrics-json
+// file byte for byte.
+func TestObsLive(t *testing.T) {
+	csvPath, jobPath, dir := writeFixtures(t)
+	outPath := filepath.Join(dir, "masked.csv")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	stderr := newObsAddrWriter()
+	var stdout strings.Builder
+
+	done := make(chan error, 1)
+	go func() {
+		done <- Anon([]string{
+			"-in", csvPath, "-job", jobPath, "-out", outPath,
+			"-metrics-json", metricsPath,
+			"-obs-listen", "127.0.0.1:0", "-obs-linger", "10s",
+		}, &stdout, stderr)
+	}()
+
+	var addr string
+	select {
+	case addr = <-stderr.addrC:
+	case err := <-done:
+		t.Fatalf("Anon finished before announcing the observatory: %v\nstderr: %s", err, stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatalf("no observatory address announced\nstderr: %s", stderr.String())
+	}
+
+	// Poll the live endpoints. The run is fast, so scrapes may land
+	// before or after completion — either way every snapshot must be
+	// well-formed and the evaluated count must never decrease.
+	var lastEvaluated int64 = -1
+	state := ""
+	deadline := time.Now().Add(10 * time.Second)
+	for state != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("observatory never reached done state\nstderr: %s", stderr.String())
+		}
+		var health struct {
+			Status string `json:"status"`
+			State  string `json:"state"`
+		}
+		if err := json.Unmarshal(obsGet(t, addr, "/healthz"), &health); err != nil {
+			t.Fatal(err)
+		}
+		if health.Status != "ok" {
+			t.Fatalf("healthz = %+v", health)
+		}
+		state = health.State
+
+		var prog struct {
+			State    string `json:"state"`
+			Progress struct {
+				NodesEvaluated int64   `json:"nodes_evaluated"`
+				LatticeNodes   int64   `json:"lattice_nodes"`
+				Fraction       float64 `json:"fraction"`
+			} `json:"progress"`
+		}
+		if err := json.Unmarshal(obsGet(t, addr, "/progress"), &prog); err != nil {
+			t.Fatal(err)
+		}
+		if prog.Progress.NodesEvaluated < lastEvaluated {
+			t.Fatalf("evaluated went backwards: %d -> %d", lastEvaluated, prog.Progress.NodesEvaluated)
+		}
+		lastEvaluated = prog.Progress.NodesEvaluated
+		if prog.Progress.Fraction < 0 || prog.Progress.Fraction > 1 {
+			t.Fatalf("fraction out of range: %v", prog.Progress.Fraction)
+		}
+	}
+	if lastEvaluated <= 0 {
+		t.Fatalf("no nodes observed evaluated")
+	}
+
+	// The state is done: this scrape serves the frozen final report and
+	// releases the -obs-linger wait.
+	finalScrape := obsGet(t, addr, "/metrics")
+
+	if err := <-done; err != nil {
+		t.Fatalf("Anon: %v\nstderr: %s", err, stderr.String())
+	}
+	fileBytes, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(finalScrape) != string(fileBytes) {
+		t.Fatalf("final /metrics scrape differs from -metrics-json file:\nscrape %d bytes\nfile   %d bytes",
+			len(finalScrape), len(fileBytes))
+	}
+	var rep struct {
+		Nodes struct {
+			Evaluated int64 `json:"evaluated"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal(finalScrape, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes.Evaluated == 0 {
+		t.Fatal("final report has no evaluations")
+	}
+}
+
+// TestObsLiveExplain: -explain riding the same run must reconcile (the
+// CLI errors out otherwise) and print the audit block.
+func TestObsLiveExplain(t *testing.T) {
+	csvPath, jobPath, dir := writeFixtures(t)
+	outPath := filepath.Join(dir, "masked.csv")
+	auditPath := filepath.Join(dir, "audit.json")
+	var stdout, stderr strings.Builder
+	err := Anon([]string{
+		"-in", csvPath, "-job", jobPath, "-out", outPath,
+		"-explain", "-explain-json", auditPath,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("Anon -explain: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "prune attribution by lattice level:") {
+		t.Fatalf("explain block missing:\n%s", stderr.String())
+	}
+	b, err := os.ReadFile(auditPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var audit struct {
+		Events int64 `json:"events"`
+		Levels []struct {
+			Evaluated int64 `json:"evaluated"`
+		} `json:"levels"`
+		Report *struct {
+			Nodes struct {
+				Evaluated int64 `json:"evaluated"`
+			} `json:"nodes"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal(b, &audit); err != nil {
+		t.Fatal(err)
+	}
+	if audit.Events == 0 || len(audit.Levels) == 0 || audit.Report == nil {
+		t.Fatalf("audit incomplete: %s", b)
+	}
+	var levelTotal int64
+	for _, l := range audit.Levels {
+		levelTotal += l.Evaluated
+	}
+	if levelTotal != audit.Report.Nodes.Evaluated {
+		t.Fatalf("explain totals %d != report %d", levelTotal, audit.Report.Nodes.Evaluated)
+	}
+}

@@ -100,6 +100,15 @@ const (
 	// PhaseMaterialize is the masked-table build for a node the
 	// statistics already proved satisfying.
 	PhaseMaterialize
+	// PhaseSearch is the root span of one strategy call; every other
+	// phase recorded on the strategy's own goroutine nests under it.
+	PhaseSearch
+	// PhaseFrontier is the Pareto frontier pass (scan + scoring +
+	// dominance reduction), a child of PhaseSearch.
+	PhaseFrontier
+	// PhaseRepair is an incremental session's lattice ascent from a
+	// violating incumbent node.
+	PhaseRepair
 
 	numPhases
 )
@@ -119,6 +128,12 @@ func (p Phase) String() string {
 		return "generalize"
 	case PhaseMaterialize:
 		return "materialize"
+	case PhaseSearch:
+		return "search"
+	case PhaseFrontier:
+		return "frontier-scan"
+	case PhaseRepair:
+		return "repair-ascent"
 	default:
 		return "unknown"
 	}
@@ -138,8 +153,9 @@ type Recorder struct {
 	verdicts [numVerdicts]atomic.Int64
 	nodeLat  histogram
 
-	phaseNs    [numPhases]atomic.Int64
-	phaseCount [numPhases]atomic.Int64
+	phaseNs     [numPhases]atomic.Int64
+	phaseSelfNs [numPhases]atomic.Int64
+	phaseCount  [numPhases]atomic.Int64
 
 	colHits, colMisses, colBytes atomic.Int64
 	mapHits, mapMisses           atomic.Int64
@@ -157,8 +173,22 @@ type Recorder struct {
 	frontierScored, frontierMembers     atomic.Int64
 	frontierDominated, frontierCutSkips atomic.Int64
 
+	// Progress gauges: the live-observability view (obs.Server's
+	// /progress endpoint) reads these while a search is in flight.
+	startUnixNs    int64 // set once at NewRecorder; no atomics needed
+	latticeNodes   atomic.Int64
+	budgetUsed     atomic.Int64
+	budgetMax      atomic.Int64
+	deadlineUnixNs atomic.Int64
+	memUsed        atomic.Int64
+	memBudget      atomic.Int64
+
 	mu       sync.Mutex
 	policies map[string]*policyAgg
+
+	bestMu     sync.Mutex
+	bestNode   string
+	bestHeight int
 }
 
 type policyAgg struct {
@@ -167,7 +197,10 @@ type policyAgg struct {
 
 // NewRecorder returns an enabled, empty Recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{policies: make(map[string]*policyAgg)}
+	return &Recorder{
+		policies:    make(map[string]*policyAgg),
+		startUnixNs: time.Now().UnixNano(),
+	}
 }
 
 // Enabled reports whether telemetry is being collected (r non-nil).
@@ -183,13 +216,16 @@ func (r *Recorder) Start() time.Time {
 	return time.Now()
 }
 
-// PhaseEnd records one completed phase span started at start (a Start
-// result).
+// PhaseEnd records one completed flat phase span started at start (a
+// Start result): a leaf timing whose self time equals its total. Use
+// StartSpan/End when the phase parents nested work.
 func (r *Recorder) PhaseEnd(p Phase, start time.Time) {
 	if r == nil {
 		return
 	}
-	r.phaseNs[p].Add(time.Since(start).Nanoseconds())
+	ns := time.Since(start).Nanoseconds()
+	r.phaseNs[p].Add(ns)
+	r.phaseSelfNs[p].Add(ns)
 	r.phaseCount[p].Add(1)
 }
 
@@ -370,6 +406,112 @@ func (r *Recorder) FrontierReduced(scored, kept int64) {
 	}
 	r.frontierMembers.Add(kept)
 	r.frontierDominated.Add(scored - kept)
+}
+
+// Span is one hierarchical phase timing: a wall-clock interval whose
+// children (spans started with this span as parent) are subtracted to
+// give the phase's self time, so nested pipeline stages — a frontier
+// scan inside a search, a row-scan fallback inside a roll-up — carry
+// exact attribution instead of double counting. The zero Span (what a
+// nil Recorder's StartSpan returns) is disabled: End no-ops and a
+// pointer to it is a valid parent.
+//
+// Spans are designed for one call tree: Start and End run on the
+// goroutine that owns the span, while child time accumulates atomically
+// so a span may parent work handed to other goroutines (self time is
+// then clamped at zero when concurrent children overlap its wall
+// clock).
+type Span struct {
+	childNs int64 // atomic; first field for 64-bit alignment
+	rec     *Recorder
+	phase   Phase
+	parent  *Span
+	start   time.Time
+}
+
+// StartSpan opens a hierarchical phase span. parent may be nil (a root
+// span) or a disabled span; the disabled Recorder returns a disabled
+// span without touching the clock. End the span exactly once.
+func (r *Recorder) StartSpan(p Phase, parent *Span) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{rec: r, phase: p, parent: parent, start: time.Now()}
+}
+
+// End closes the span: its total wall time lands in the phase table,
+// its self time (total minus recorded children, floored at zero) in the
+// self column, and the total is reported upward to the parent. End is
+// idempotent — later calls no-op — so a strategy may End its root span
+// explicitly before snapshotting and still defer End for error paths.
+func (s *Span) End() {
+	if s == nil || s.rec == nil {
+		return
+	}
+	tot := time.Since(s.start).Nanoseconds()
+	self := tot - atomic.LoadInt64(&s.childNs)
+	if self < 0 {
+		self = 0
+	}
+	s.rec.phaseNs[s.phase].Add(tot)
+	s.rec.phaseSelfNs[s.phase].Add(self)
+	s.rec.phaseCount[s.phase].Add(1)
+	if s.parent != nil && s.parent.rec != nil {
+		atomic.AddInt64(&s.parent.childNs, tot)
+	}
+	s.rec = nil
+}
+
+// AddLatticeNodes grows the lattice-size gauge: the total number of
+// nodes in scope for the search (summed across Incognito's subset
+// lattices and an incremental session's repeated republishes), the
+// denominator of the /progress completion fraction.
+func (r *Recorder) AddLatticeNodes(n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.latticeNodes.Add(n)
+}
+
+// NoteBudgetNodes publishes the node budget's consumption (used out of
+// max; max 0 = unlimited). Called at reduction time, so the gauge
+// advances exactly as the deterministic spend does.
+func (r *Recorder) NoteBudgetNodes(used, max int64) {
+	if r == nil {
+		return
+	}
+	r.budgetUsed.Store(used)
+	r.budgetMax.Store(max)
+}
+
+// NoteDeadline publishes the search's absolute wall-clock deadline.
+func (r *Recorder) NoteDeadline(t time.Time) {
+	if r == nil || t.IsZero() {
+		return
+	}
+	r.deadlineUnixNs.Store(t.UnixNano())
+}
+
+// NoteMem publishes the generalized-column cache's estimated bytes
+// against its budget (budget 0 = unlimited).
+func (r *Recorder) NoteMem(used, budget int64) {
+	if r == nil {
+		return
+	}
+	r.memUsed.Store(used)
+	r.memBudget.Store(budget)
+}
+
+// NoteBest publishes the best satisfying node observed so far (its
+// String form and lattice height). Strategies call it from the
+// deterministic reduction, so the gauge never depends on scheduling.
+func (r *Recorder) NoteBest(node string, height int) {
+	if r == nil {
+		return
+	}
+	r.bestMu.Lock()
+	r.bestNode, r.bestHeight = node, height
+	r.bestMu.Unlock()
 }
 
 // PolicyEval records one policy evaluation (by policy name) started at

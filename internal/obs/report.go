@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Report is an immutable snapshot of a Recorder, the shape surfaced
@@ -88,11 +89,16 @@ func (n NodeCounts) PruneRate() float64 {
 	return float64(n.PrunedCondition1+n.PrunedCondition2+n.OverBudget) / float64(n.Evaluated)
 }
 
-// PhaseStat is one row of the phase wall-time table.
+// PhaseStat is one row of the phase wall-time table. TotalNs is the
+// phase's whole wall-clock footprint; SelfNs subtracts the time its
+// child spans (StartSpan nesting) accounted for, so a parent phase like
+// "search" attributes time to itself only when no nested phase claimed
+// it. Flat PhaseEnd timings have SelfNs == TotalNs.
 type PhaseStat struct {
 	Phase   string `json:"phase"`
 	Count   int64  `json:"count"`
 	TotalNs int64  `json:"total_ns"`
+	SelfNs  int64  `json:"self_ns"`
 }
 
 // CacheStats summarizes the generalized-column cache: column accesses
@@ -161,7 +167,10 @@ func (r *Recorder) Snapshot() *Report {
 	rep.NodeLatency = r.nodeLat.snapshot()
 	for p := Phase(0); p < numPhases; p++ {
 		if c := r.phaseCount[p].Load(); c > 0 {
-			rep.Phases = append(rep.Phases, PhaseStat{Phase: p.String(), Count: c, TotalNs: r.phaseNs[p].Load()})
+			rep.Phases = append(rep.Phases, PhaseStat{
+				Phase: p.String(), Count: c,
+				TotalNs: r.phaseNs[p].Load(), SelfNs: r.phaseSelfNs[p].Load(),
+			})
 		}
 	}
 	rep.Cache = CacheStats{
@@ -240,6 +249,68 @@ func (r *Report) DeterministicCounters() map[string]int64 {
 	return out
 }
 
+// Progress is the live in-flight view of a search, the plain-data
+// payload of obs.Server's /progress endpoint: completion against the
+// lattice, the budget's consumption, and the best satisfying node seen
+// so far. Unlike Report it is meant to be read while the search runs —
+// every field is an independent atomic gauge, so the view is consistent
+// per field, not across fields.
+type Progress struct {
+	// NodesEvaluated counts lattice-node evaluations so far.
+	NodesEvaluated int64 `json:"nodes_evaluated"`
+	// LatticeNodes is the total node count in scope for the search (sum
+	// over Incognito's subset lattices); 0 until a strategy starts.
+	LatticeNodes int64 `json:"lattice_nodes"`
+	// Fraction is NodesEvaluated/LatticeNodes (0 when unknown). Pruning
+	// may finish a search well below 1.0; it never overstates progress.
+	Fraction float64 `json:"fraction"`
+	// BestNode is the String form of the best satisfying node found so
+	// far ("" until a hit), with its lattice height.
+	BestNode   string `json:"best_node,omitempty"`
+	BestHeight int    `json:"best_height,omitempty"`
+	// BudgetNodesUsed/Max mirror Budget.MaxNodes consumption (Max 0 =
+	// unlimited).
+	BudgetNodesUsed int64 `json:"budget_nodes_used"`
+	BudgetNodesMax  int64 `json:"budget_nodes_max"`
+	// DeadlineUnixNs is the absolute deadline (0 = none).
+	DeadlineUnixNs int64 `json:"deadline_unix_ns"`
+	// MemUsedBytes/MemBudgetBytes mirror the cache-memory budget
+	// (budget 0 = unlimited; used only advances while a budget is set).
+	MemUsedBytes   int64 `json:"mem_used_bytes"`
+	MemBudgetBytes int64 `json:"mem_budget_bytes"`
+	// ElapsedNs is the time since the recorder was created.
+	ElapsedNs int64 `json:"elapsed_ns"`
+	// SuppressedRows mirrors the running suppression total.
+	SuppressedRows int64 `json:"suppressed_rows"`
+}
+
+// Progress snapshots the live gauges; nil recorders return the zero
+// value. Safe to call at any moment from any goroutine.
+func (r *Recorder) Progress() Progress {
+	if r == nil {
+		return Progress{}
+	}
+	var p Progress
+	for v := Verdict(0); v < numVerdicts; v++ {
+		p.NodesEvaluated += r.verdicts[v].Load()
+	}
+	p.LatticeNodes = r.latticeNodes.Load()
+	if p.LatticeNodes > 0 {
+		p.Fraction = float64(p.NodesEvaluated) / float64(p.LatticeNodes)
+	}
+	r.bestMu.Lock()
+	p.BestNode, p.BestHeight = r.bestNode, r.bestHeight
+	r.bestMu.Unlock()
+	p.BudgetNodesUsed = r.budgetUsed.Load()
+	p.BudgetNodesMax = r.budgetMax.Load()
+	p.DeadlineUnixNs = r.deadlineUnixNs.Load()
+	p.MemUsedBytes = r.memUsed.Load()
+	p.MemBudgetBytes = r.memBudget.Load()
+	p.ElapsedNs = time.Now().UnixNano() - r.startUnixNs
+	p.SuppressedRows = r.suppressedRows.Load()
+	return p
+}
+
 // String renders the report as the human-readable block `pskanon
 // -stats` and friends print.
 func (r *Report) String() string {
@@ -264,7 +335,8 @@ func (r *Report) String() string {
 			if p.Count > 0 {
 				avg = p.TotalNs / p.Count
 			}
-			fmt.Fprintf(&b, "  %-14s %8d calls  total %10s  avg %8s\n", p.Phase, p.Count, fmtNs(p.TotalNs), fmtNs(avg))
+			fmt.Fprintf(&b, "  %-14s %8d calls  total %10s  self %10s  avg %8s\n",
+				p.Phase, p.Count, fmtNs(p.TotalNs), fmtNs(p.SelfNs), fmtNs(avg))
 		}
 	}
 	c := r.Cache

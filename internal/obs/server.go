@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Server is the live observatory: a stdlib-only net/http debug server
+// exposing a running search's telemetry while it is in flight —
+// exactly when a multi-hour 10M-row run needs visibility and the
+// post-hoc Report does not exist yet. Endpoints:
+//
+//	/metrics  — the current Report snapshot as JSON (the same shape
+//	            -metrics-json writes); after Finalize it serves the
+//	            frozen final report byte-for-byte
+//	/progress — the Progress gauges plus the Sampler's time-series ring
+//	/healthz  — {"status":"ok","state":"running"|"done"}
+//	/debug/pprof/* — the standard runtime profiles; combined with the
+//	            engine's pprof worker labels, CPU samples attribute to
+//	            (strategy, phase, worker)
+//
+// The server never touches search structures: every handler reads
+// atomic gauges or snapshots the Recorder, so attaching one cannot
+// change a result byte. Lifecycle: NewServer binds and serves
+// immediately; Finalize freezes the /metrics payload; WaitScraped lets
+// a CLI linger until a scraper has read the final report; Close shuts
+// the listener down.
+type Server struct {
+	rec     *Recorder
+	sampler *Sampler
+	ln      net.Listener
+	srv     *http.Server
+	start   time.Time
+
+	final       atomic.Pointer[Report]
+	scraped     chan struct{}
+	scrapedOnce sync.Once
+}
+
+// NewServer binds addr (e.g. "127.0.0.1:6060", ":0" for an ephemeral
+// port) and starts serving in a background goroutine. rec may not be
+// nil — a server without a recorder has nothing to say. sampler may be
+// nil (then /progress carries no samples).
+func NewServer(addr string, rec *Recorder, sampler *Sampler) (*Server, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("obs: server requires a recorder")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		rec:     rec,
+		sampler: sampler,
+		ln:      ln,
+		start:   time.Now(),
+		scraped: make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Finalize freezes the /metrics payload to rep — the exact report the
+// CLI wrote to -metrics-json, so a scrape after completion and the
+// file agree byte for byte. The /healthz state flips to "done".
+func (s *Server) Finalize(rep *Report) {
+	if rep != nil {
+		s.final.Store(rep)
+	}
+}
+
+// Finalized reports whether Finalize has been called.
+func (s *Server) Finalized() bool { return s.final.Load() != nil }
+
+// WaitScraped blocks until a /metrics request has been served after
+// Finalize, or the timeout elapses — the linger a CLI uses so an
+// external poller deterministically observes the final report before
+// the process exits. Returns true when a scrape happened.
+func (s *Server) WaitScraped(timeout time.Duration) bool {
+	if timeout <= 0 {
+		return false
+	}
+	select {
+	case <-s.scraped:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// Close shuts the listener down. In-flight handlers finish on their
+// own time; no new connections are accepted.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) state() string {
+	if s.Finalized() {
+		return "done"
+	}
+	return "running"
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rep := s.final.Load()
+	done := rep != nil
+	if rep == nil {
+		rep = s.rec.Snapshot()
+	}
+	writeIndentedJSON(w, rep)
+	if done {
+		s.scrapedOnce.Do(func() { close(s.scraped) })
+	}
+}
+
+// progressPayload is the /progress response body.
+type progressPayload struct {
+	State string `json:"state"`
+	// UptimeNs is the server's age, the scrape-side clock.
+	UptimeNs int64    `json:"uptime_ns"`
+	Progress Progress `json:"progress"`
+	// SampleIntervalNs and SamplesTaken describe the ring: SamplesTaken
+	// may exceed len(Samples) once the ring has wrapped.
+	SampleIntervalNs int64    `json:"sample_interval_ns,omitempty"`
+	SamplesTaken     int      `json:"samples_taken"`
+	Samples          []Sample `json:"samples,omitempty"`
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	writeIndentedJSON(w, progressPayload{
+		State:            s.state(),
+		UptimeNs:         time.Since(s.start).Nanoseconds(),
+		Progress:         s.rec.Progress(),
+		SampleIntervalNs: s.sampler.Interval().Nanoseconds(),
+		SamplesTaken:     s.sampler.Total(),
+		Samples:          s.sampler.Samples(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeIndentedJSON(w, map[string]string{"status": "ok", "state": s.state()})
+}
+
+// writeIndentedJSON mirrors the CLI's -metrics-json encoder settings
+// (two-space indent, trailing newline) so scrapes and files compare
+// byte for byte.
+func writeIndentedJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

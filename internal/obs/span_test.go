@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func phaseStat(rep *Report, p Phase) (PhaseStat, bool) {
+	for _, ps := range rep.Phases {
+		if ps.Phase == p.String() {
+			return ps, true
+		}
+	}
+	return PhaseStat{}, false
+}
+
+// TestSpanNesting: a child span's total must be subtracted from its
+// parent's self time, and the parent's total must cover the child.
+func TestSpanNesting(t *testing.T) {
+	rec := NewRecorder()
+	root := rec.StartSpan(PhaseSearch, nil)
+	time.Sleep(2 * time.Millisecond)
+	child := rec.StartSpan(PhaseFrontier, &root)
+	time.Sleep(2 * time.Millisecond)
+	child.End()
+	root.End()
+
+	rep := rec.Snapshot()
+	search, ok := phaseStat(rep, PhaseSearch)
+	if !ok {
+		t.Fatal("no search phase recorded")
+	}
+	frontier, ok := phaseStat(rep, PhaseFrontier)
+	if !ok {
+		t.Fatal("no frontier phase recorded")
+	}
+	if search.Count != 1 || frontier.Count != 1 {
+		t.Fatalf("counts = %d/%d", search.Count, frontier.Count)
+	}
+	if search.TotalNs < frontier.TotalNs {
+		t.Fatalf("parent total %d < child total %d", search.TotalNs, frontier.TotalNs)
+	}
+	// Self is computed as total minus the exact child total.
+	if want := search.TotalNs - frontier.TotalNs; search.SelfNs != want {
+		t.Fatalf("parent self = %d, want total-child = %d", search.SelfNs, want)
+	}
+	// The child has no children of its own: self == total.
+	if frontier.SelfNs != frontier.TotalNs {
+		t.Fatalf("leaf self = %d, total = %d", frontier.SelfNs, frontier.TotalNs)
+	}
+}
+
+// TestSpanEndIdempotent: a strategy Ends its root span explicitly
+// before snapshotting and again via defer; only the first may record.
+func TestSpanEndIdempotent(t *testing.T) {
+	rec := NewRecorder()
+	sp := rec.StartSpan(PhaseSearch, nil)
+	sp.End()
+	sp.End()
+	sp.End()
+	rep := rec.Snapshot()
+	search, _ := phaseStat(rep, PhaseSearch)
+	if search.Count != 1 {
+		t.Fatalf("span recorded %d times", search.Count)
+	}
+}
+
+// TestSpanDisabled: the nil recorder's span must be inert end to end,
+// including as a parent of enabled spans.
+func TestSpanDisabled(t *testing.T) {
+	var nilRec *Recorder
+	sp := nilRec.StartSpan(PhaseSearch, nil)
+	sp.End() // no-op, no panic
+	var nilSpan *Span
+	nilSpan.End()
+
+	// An enabled child under a disabled parent records itself and drops
+	// the upward report.
+	rec := NewRecorder()
+	child := rec.StartSpan(PhaseFrontier, &sp)
+	child.End()
+	rep := rec.Snapshot()
+	if fr, ok := phaseStat(rep, PhaseFrontier); !ok || fr.Count != 1 {
+		t.Fatalf("child under disabled parent = %+v", fr)
+	}
+}
+
+// TestSpanConcurrentChildren: children ended on other goroutines must
+// accumulate into the parent atomically (run with -race), and a parent
+// whose concurrent children overlap its wall clock clamps self at zero
+// instead of going negative.
+func TestSpanConcurrentChildren(t *testing.T) {
+	rec := NewRecorder()
+	root := rec.StartSpan(PhaseSearch, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			child := rec.StartSpan(PhaseRollup, &root)
+			time.Sleep(time.Millisecond)
+			child.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	rep := rec.Snapshot()
+	rollup, _ := phaseStat(rep, PhaseRollup)
+	if rollup.Count != 8 {
+		t.Fatalf("children recorded = %d", rollup.Count)
+	}
+	search, _ := phaseStat(rep, PhaseSearch)
+	if search.SelfNs < 0 {
+		t.Fatalf("parent self went negative: %d", search.SelfNs)
+	}
+}

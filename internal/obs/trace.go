@@ -6,12 +6,29 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// TraceSchemaVersion is the version stamped into every emitted Event.
+// Version history:
+//
+//	1 — node/height/verdict/duration_ns/worker (PR 4; events carry no
+//	    schema_version field, so a zero value means version 1)
+//	2 — adds schema_version and at_ns (emission offset from tracer
+//	    creation), the fields the explain pipeline's timeline needs.
+//
+// Consumers must ignore unknown fields and treat missing ones as zero,
+// so any reader of version n can read all versions <= n.
+const TraceSchemaVersion = 2
 
 // Event is one JSONL trace record: a single lattice-node evaluation.
 // The schema is stable (DESIGN.md section 11): one object per line,
 // unknown fields must be ignored by consumers.
 type Event struct {
+	// SchemaVersion is the trace schema the event was written with
+	// (TraceSchemaVersion at write time; 0 on pre-versioning traces,
+	// which readers treat as version 1).
+	SchemaVersion int `json:"schema_version,omitempty"`
 	// Node is the lattice node's level vector, in QI order.
 	Node []int `json:"node"`
 	// Height is the node's lattice height (the level sum).
@@ -20,6 +37,11 @@ type Event struct {
 	Verdict string `json:"verdict"`
 	// DurationNs is the evaluation's wall time in nanoseconds.
 	DurationNs int64 `json:"duration_ns"`
+	// AtNs is the event's emission offset from the tracer's creation in
+	// nanoseconds — a per-search timeline coordinate (0 on version-1
+	// traces). Emission happens when the evaluation completes, so AtNs
+	// approximates the evaluation's end time.
+	AtNs int64 `json:"at_ns,omitempty"`
 	// Worker is the engine worker that ran the evaluation (0 on the
 	// serial path).
 	Worker int `json:"worker"`
@@ -36,22 +58,30 @@ type Tracer struct {
 	bw     *bufio.Writer
 	enc    *json.Encoder
 	err    error
+	epoch  time.Time
 	events atomic.Int64
 }
 
 // NewTracer wraps w in a buffered JSONL event stream.
 func NewTracer(w io.Writer) *Tracer {
 	bw := bufio.NewWriter(w)
-	return &Tracer{bw: bw, enc: json.NewEncoder(bw)}
+	return &Tracer{bw: bw, enc: json.NewEncoder(bw), epoch: time.Now()}
 }
 
-// Emit writes one event (one line). The first write error is retained
-// and reported by Flush; later events are dropped.
+// Emit writes one event (one line), stamping the schema version and the
+// timeline offset unless the caller set them. The first write error is
+// retained and reported by Flush; later events are dropped.
 func (t *Tracer) Emit(ev Event) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
+	if ev.SchemaVersion == 0 {
+		ev.SchemaVersion = TraceSchemaVersion
+	}
+	if ev.AtNs == 0 {
+		ev.AtNs = time.Since(t.epoch).Nanoseconds()
+	}
 	if t.err == nil {
 		t.err = t.enc.Encode(ev)
 	}
@@ -82,20 +112,35 @@ func (t *Tracer) Flush() error {
 	return t.err
 }
 
-// ReadEvents parses a JSONL trace back into events — the offline half
-// of the tracer, used by tests and the telemetry experiment to verify
-// a trace file matches the reported counters.
-func ReadEvents(r io.Reader) ([]Event, error) {
-	var out []Event
-	dec := json.NewDecoder(r)
+// ScanEvents streams a JSONL trace through fn, one event at a time, in
+// file order — the reader to use on multi-GB traces from million-row
+// searches, which must never be required to fit in memory. fn returning
+// an error stops the scan and surfaces that error. A decode error
+// surfaces with the events already consumed left consumed.
+func ScanEvents(r io.Reader, fn func(Event) error) error {
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<16))
 	for {
 		var ev Event
 		if err := dec.Decode(&ev); err != nil {
 			if err == io.EOF {
-				return out, nil
+				return nil
 			}
-			return out, err
+			return err
 		}
-		out = append(out, ev)
+		if err := fn(ev); err != nil {
+			return err
+		}
 	}
+}
+
+// ReadEvents parses a JSONL trace back into a slice — the convenience
+// wrapper over ScanEvents for tests and small traces; use ScanEvents
+// directly when the trace may not fit in memory.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	err := ScanEvents(r, func(ev Event) error {
+		out = append(out, ev)
+		return nil
+	})
+	return out, err
 }

@@ -2,6 +2,7 @@ package search
 
 import (
 	"psk/internal/lattice"
+	"psk/internal/obs"
 	"psk/internal/table"
 )
 
@@ -21,11 +22,14 @@ import (
 // premise of the paper; Exhaustive remains the assumption-free
 // reference.
 func AllMinimal(im *table.Table, cfg Config) (ExhaustiveResult, error) {
+	cfg.strategy = "all-minimal"
 	m, err := cfg.validate()
 	if err != nil {
 		return ExhaustiveResult{}, err
 	}
 	var res ExhaustiveResult
+	span := cfg.Recorder.StartSpan(obs.PhaseSearch, nil)
+	defer span.End()
 
 	bounds, err := searchBounds(im, cfg)
 	if err != nil {
@@ -33,12 +37,14 @@ func AllMinimal(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 	}
 	if cfg.Policy == nil && cfg.UseConditions && cfg.P >= 2 && !bounds.Feasible() {
 		res.Stats.PrunedCondition1 = 1
+		span.End()
 		res.Report = cfg.Recorder.Snapshot()
 		return res, nil
 	}
 
 	eval := newEvaluator(im, m, nil, cfg, bounds)
 	lat := m.Lattice()
+	cfg.Recorder.AddLatticeNodes(int64(lat.Size()))
 	tagged := make(map[string]bool) // known satisfied via a specialization
 	for h := 0; h <= lat.Height(); h++ {
 		// Tagging only ever marks strict generalizations — nodes at
@@ -80,10 +86,11 @@ func AllMinimal(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 			break
 		}
 	}
-	if err := attachFrontier(eval, lat, true, &res.Stats, &res.Frontier); err != nil {
+	if err := attachFrontier(eval, lat, true, &res.Stats, &res.Frontier, &span); err != nil {
 		return ExhaustiveResult{}, err
 	}
 	res.StopReason = eval.lim.stopReason()
+	span.End()
 	res.Report = cfg.Recorder.Snapshot()
 	return res, nil
 }

@@ -119,6 +119,11 @@ func (c Config) newLimiter() *limiter {
 	if c.Budget.Deadline > 0 {
 		l.deadline = time.Now().Add(c.Budget.Deadline)
 	}
+	// Publish the limits to the live-progress gauges up front, so a
+	// /progress scrape early in the search already shows the budget's
+	// denominator and deadline.
+	l.rec.NoteBudgetNodes(0, l.maxNodes)
+	l.rec.NoteDeadline(l.deadline)
 	return l
 }
 
@@ -178,9 +183,13 @@ func (l *limiter) checkpoint() bool {
 		l.trip(StopDeadline)
 		return false
 	}
-	if l.maxBytes > 0 && l.mem != nil && l.mem() > l.maxBytes {
-		l.trip(StopMemBudget)
-		return false
+	if l.maxBytes > 0 && l.mem != nil {
+		used := l.mem()
+		l.rec.NoteMem(used, l.maxBytes)
+		if used > l.maxBytes {
+			l.trip(StopMemBudget)
+			return false
+		}
 	}
 	return true
 }
@@ -207,5 +216,6 @@ func (l *limiter) allowance(n int) int {
 func (l *limiter) charge(n int) {
 	if l != nil {
 		l.used += int64(n)
+		l.rec.NoteBudgetNodes(l.used, l.maxNodes)
 	}
 }

@@ -101,6 +101,11 @@ type Config struct {
 	// Frontier field receives the dominance-reduced set. The pass shares
 	// the search's roll-up store and budget.
 	Frontier FrontierConfig
+
+	// strategy names the strategy that owns this config copy; each entry
+	// point stamps it so engine workers can carry pprof labels
+	// (psk_strategy) and CPU profiles attribute samples per strategy.
+	strategy string
 }
 
 // DefaultWorkers returns the recommended Config.Workers value: the

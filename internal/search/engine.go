@@ -1,7 +1,10 @@
 package search
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -395,15 +398,17 @@ func (e *evaluator) run(nodes []lattice.Node, cancelEarly bool) ([]outcome, int)
 	w := e.cfg.workerCount(limit)
 	e.rec.SetPoolSize(w)
 	if w <= 1 {
-		for i := 0; i < limit; i++ {
-			if !e.lim.checkpoint() {
-				break
+		e.labeled(0, func() {
+			for i := 0; i < limit; i++ {
+				if !e.lim.checkpoint() {
+					break
+				}
+				outs[i] = e.evalSafe(nodes[i], 0)
+				if cancelEarly && (outs[i].ok || outs[i].err != nil) {
+					break
+				}
 			}
-			outs[i] = e.evalSafe(nodes[i], 0)
-			if cancelEarly && (outs[i].ok || outs[i].err != nil) {
-				break
-			}
-		}
+		})
 		return outs, limit
 	}
 	var next int64
@@ -413,32 +418,52 @@ func (e *evaluator) run(nodes []lattice.Node, cancelEarly bool) ([]outcome, int)
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= limit {
-					return
-				}
-				if !e.lim.checkpoint() {
-					return
-				}
-				if cancelEarly && int64(i) > atomic.LoadInt64(&barrier) {
-					continue
-				}
-				o := e.evalSafe(nodes[i], worker)
-				outs[i] = o
-				if cancelEarly && (o.ok || o.err != nil) {
-					for {
-						cur := atomic.LoadInt64(&barrier)
-						if int64(i) >= cur || atomic.CompareAndSwapInt64(&barrier, cur, int64(i)) {
-							break
+			e.labeled(worker, func() {
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= limit {
+						return
+					}
+					if !e.lim.checkpoint() {
+						return
+					}
+					if cancelEarly && int64(i) > atomic.LoadInt64(&barrier) {
+						continue
+					}
+					o := e.evalSafe(nodes[i], worker)
+					outs[i] = o
+					if cancelEarly && (o.ok || o.err != nil) {
+						for {
+							cur := atomic.LoadInt64(&barrier)
+							if int64(i) >= cur || atomic.CompareAndSwapInt64(&barrier, cur, int64(i)) {
+								break
+							}
 						}
 					}
 				}
-			}
+			})
 		}(g)
 	}
 	wg.Wait()
 	return outs, limit
+}
+
+// labeled runs fn under pprof goroutine labels identifying the
+// strategy, pipeline phase and worker id, so CPU and goroutine profiles
+// scraped from the live /debug/pprof endpoints (or -cpuprofile files)
+// attribute samples to (psk_strategy, psk_phase, psk_worker). Labels
+// cost one small allocation per engine batch — amortized over the
+// batch's node evaluations — and are restored on return.
+func (e *evaluator) labeled(worker int, fn func()) {
+	strat := e.cfg.strategy
+	if strat == "" {
+		strat = "direct"
+	}
+	pprof.Do(context.Background(), pprof.Labels(
+		"psk_strategy", strat,
+		"psk_phase", "node-eval",
+		"psk_worker", strconv.Itoa(worker),
+	), func(context.Context) { fn() })
 }
 
 // firstHit returns the index and outcome of the first satisfying node
@@ -466,6 +491,9 @@ func (e *evaluator) firstHit(nodes []lattice.Node, stats *Stats) (int, outcome, 
 		}
 		if o.ok {
 			e.lim.charge(consumed)
+			if e.rec != nil {
+				e.rec.NoteBest(nodes[i].String(), nodes[i].Height())
+			}
 			return i, o, nil
 		}
 	}
@@ -484,6 +512,7 @@ func (e *evaluator) firstHit(nodes []lattice.Node, stats *Stats) (int, outcome, 
 func (e *evaluator) evalAll(nodes []lattice.Node, stats *Stats) ([]outcome, error) {
 	outs, limit := e.run(nodes, false)
 	consumed := 0
+	noted := false
 	for i := range outs {
 		if !outs[i].evaluated {
 			continue
@@ -493,6 +522,13 @@ func (e *evaluator) evalAll(nodes []lattice.Node, stats *Stats) ([]outcome, erro
 		if outs[i].err != nil {
 			e.lim.charge(consumed)
 			return nil, outs[i].err
+		}
+		// Best-so-far gauge: the first satisfying node in reduction order
+		// (levels ascend, so it is a lowest-height hit). Noted here, on the
+		// single-threaded reduction, so the gauge is scheduling-independent.
+		if outs[i].ok && !noted && e.rec != nil {
+			e.rec.NoteBest(nodes[i].String(), nodes[i].Height())
+			noted = true
 		}
 	}
 	e.lim.charge(consumed)

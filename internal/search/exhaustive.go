@@ -45,11 +45,14 @@ type ExhaustiveResult struct {
 // whose lattice has only six nodes. Every node is independent, so with
 // cfg.Workers > 1 the whole lattice is evaluated concurrently.
 func Exhaustive(im *table.Table, cfg Config) (ExhaustiveResult, error) {
+	cfg.strategy = "exhaustive"
 	m, err := cfg.validate()
 	if err != nil {
 		return ExhaustiveResult{}, err
 	}
 	var res ExhaustiveResult
+	span := cfg.Recorder.StartSpan(obs.PhaseSearch, nil)
+	defer span.End()
 
 	bounds, err := searchBounds(im, cfg)
 	if err != nil {
@@ -57,12 +60,14 @@ func Exhaustive(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 	}
 	if cfg.Policy == nil && cfg.UseConditions && cfg.P >= 2 && !bounds.Feasible() {
 		res.Stats.PrunedCondition1 = 1
+		span.End()
 		res.Report = cfg.Recorder.Snapshot()
 		return res, nil
 	}
 
 	eval := newEvaluator(im, m, nil, cfg, bounds)
 	nodes := m.Lattice().AllNodes()
+	cfg.Recorder.AddLatticeNodes(int64(len(nodes)))
 	outs, err := eval.evalAll(nodes, &res.Stats)
 	if err != nil {
 		return ExhaustiveResult{}, err
@@ -82,10 +87,11 @@ func Exhaustive(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 			}
 		}
 	}
-	if err := attachFrontier(eval, m.Lattice(), false, &res.Stats, &res.Frontier); err != nil {
+	if err := attachFrontier(eval, m.Lattice(), false, &res.Stats, &res.Frontier, &span); err != nil {
 		return ExhaustiveResult{}, err
 	}
 	res.StopReason = eval.lim.stopReason()
+	span.End()
 	res.Report = cfg.Recorder.Snapshot()
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 	"psk/internal/core"
 	"psk/internal/lattice"
 	"psk/internal/loss"
+	"psk/internal/obs"
 )
 
 // This file adds the utility-aware Pareto frontier mode to every
@@ -224,10 +225,16 @@ func (e *evaluator) frontierScan(lat *lattice.Lattice, monotone bool, stats *Sta
 // attachFrontier runs the frontier pass when the configuration asks for
 // one and stores the result; strategies call it just before computing
 // their stop reason so a budget trip inside the scan is reported.
-func attachFrontier(e *evaluator, lat *lattice.Lattice, monotone bool, stats *Stats, dst *[]FrontierEntry) error {
+// parent is the strategy's root search span (may be nil or disabled):
+// the scan runs under a nested frontier-scan span, so the report's
+// phase table attributes the pass's wall time to the frontier, not to
+// the search's self time.
+func attachFrontier(e *evaluator, lat *lattice.Lattice, monotone bool, stats *Stats, dst *[]FrontierEntry, parent *obs.Span) error {
 	if !e.cfg.Frontier.Enabled {
 		return nil
 	}
+	sp := e.rec.StartSpan(obs.PhaseFrontier, parent)
+	defer sp.End()
 	fr, err := e.frontierScan(lat, monotone, stats)
 	if err != nil {
 		return err

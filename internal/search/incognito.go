@@ -2,6 +2,7 @@ package search
 
 import (
 	"psk/internal/core"
+	"psk/internal/obs"
 	"psk/internal/table"
 )
 
@@ -18,11 +19,14 @@ import (
 // signature subset-lattice pruning concerns searches over multiple QI
 // subsets; for a single fixed QI set, level-order scan is what remains.)
 func BottomUp(im *table.Table, cfg Config) (ExhaustiveResult, error) {
+	cfg.strategy = "bottom-up"
 	m, err := cfg.validate()
 	if err != nil {
 		return ExhaustiveResult{}, err
 	}
 	var res ExhaustiveResult
+	span := cfg.Recorder.StartSpan(obs.PhaseSearch, nil)
+	defer span.End()
 
 	bounds, err := searchBounds(im, cfg)
 	if err != nil {
@@ -30,12 +34,14 @@ func BottomUp(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 	}
 	if cfg.Policy == nil && cfg.UseConditions && cfg.P >= 2 && !bounds.Feasible() {
 		res.Stats.PrunedCondition1 = 1
+		span.End()
 		res.Report = cfg.Recorder.Snapshot()
 		return res, nil
 	}
 
 	eval := newEvaluator(im, m, nil, cfg, bounds)
 	lat := m.Lattice()
+	cfg.Recorder.AddLatticeNodes(int64(lat.Size()))
 	for h := 0; h <= lat.Height(); h++ {
 		nodes := lat.NodesAtHeight(h)
 		outs, err := eval.evalAll(nodes, &res.Stats)
@@ -55,10 +61,11 @@ func BottomUp(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 			}
 			// BottomUp makes no monotonicity assumption, so the frontier
 			// pass must not cut up-sets either.
-			if err := attachFrontier(eval, lat, false, &res.Stats, &res.Frontier); err != nil {
+			if err := attachFrontier(eval, lat, false, &res.Stats, &res.Frontier, &span); err != nil {
 				return ExhaustiveResult{}, err
 			}
 			res.StopReason = eval.lim.stopReason()
+			span.End()
 			res.Report = cfg.Recorder.Snapshot()
 			return res, nil
 		}
@@ -66,10 +73,11 @@ func BottomUp(im *table.Table, cfg Config) (ExhaustiveResult, error) {
 			break
 		}
 	}
-	if err := attachFrontier(eval, lat, false, &res.Stats, &res.Frontier); err != nil {
+	if err := attachFrontier(eval, lat, false, &res.Stats, &res.Frontier, &span); err != nil {
 		return ExhaustiveResult{}, err
 	}
 	res.StopReason = eval.lim.stopReason()
+	span.End()
 	res.Report = cfg.Recorder.Snapshot()
 	return res, nil
 }

@@ -52,11 +52,14 @@ type IncognitoResult struct {
 // up-set of every satisfying node (as in AllMinimal). The final pass
 // over the full QI set yields the complete p-k-minimal antichain.
 func Incognito(im *table.Table, cfg Config) (IncognitoResult, error) {
+	cfg.strategy = "incognito"
 	m, err := cfg.validate()
 	if err != nil {
 		return IncognitoResult{}, err
 	}
 	var res IncognitoResult
+	span := cfg.Recorder.StartSpan(obs.PhaseSearch, nil)
+	defer span.End()
 
 	bounds, err := searchBounds(im, cfg)
 	if err != nil {
@@ -64,6 +67,7 @@ func Incognito(im *table.Table, cfg Config) (IncognitoResult, error) {
 	}
 	if cfg.Policy == nil && cfg.UseConditions && cfg.P >= 2 && !bounds.Feasible() {
 		res.Stats.PrunedCondition1 = 1
+		span.End()
 		res.Report = cfg.Recorder.Snapshot()
 		return res, nil
 	}
@@ -177,6 +181,10 @@ subsets:
 			if err != nil {
 				return IncognitoResult{}, err
 			}
+			// Progress denominator: each subset lattice adds its own node
+			// count, so the /progress fraction tracks the whole multi-pass
+			// strategy, not just the final full-QI lattice.
+			cfg.Recorder.AddLatticeNodes(int64(subLat.Size()))
 			subCfg := cfg
 			subCfg.QIs = attrs
 			subMasker, err := subCfg.validate()
@@ -272,11 +280,12 @@ subsets:
 		}
 		// Incognito assumes monotonicity (the subset property), so the
 		// frontier scan may cut dominated up-sets.
-		if err := attachFrontier(fullEval, m.Lattice(), true, &res.Stats, &res.Frontier); err != nil {
+		if err := attachFrontier(fullEval, m.Lattice(), true, &res.Stats, &res.Frontier, &span); err != nil {
 			return IncognitoResult{}, err
 		}
 	}
 	res.StopReason = lim.stopReason()
+	span.End()
 	res.Report = cfg.Recorder.Snapshot()
 	return res, nil
 }

@@ -491,8 +491,12 @@ func (s *Incremental) currentBounds() (core.Bounds, error) {
 // the cold strategy, which searches branches the ascent cannot reach.
 func (s *Incremental) repair(bounds core.Bounds, stats Stats) (Result, error) {
 	s.rec.RepairAscent()
-	lim := s.cfg.newLimiter()
-	eval := newLimitedEvaluator(s.led.Table(), s.m, nil, s.cfg, bounds, lim)
+	span := s.rec.StartSpan(obs.PhaseRepair, nil)
+	defer span.End()
+	cfg := s.cfg
+	cfg.strategy = "incremental-repair"
+	lim := cfg.newLimiter()
+	eval := newLimitedEvaluator(s.led.Table(), s.m, nil, cfg, bounds, lim)
 	eval.noMaterialize = true
 	lat := s.m.Lattice()
 	bottom := lat.Bottom()
@@ -508,6 +512,9 @@ func (s *Incremental) repair(bounds core.Bounds, stats Stats) (Result, error) {
 		if len(cand) == 0 {
 			continue
 		}
+		// The ascent's in-scope node set grows level by level; add each
+		// level so the /progress fraction stays meaningful mid-repair.
+		s.rec.AddLatticeNodes(int64(len(cand)))
 		i, o, err := eval.firstHit(cand, &res.Stats)
 		if err != nil {
 			return Result{}, err
@@ -522,6 +529,7 @@ func (s *Incremental) repair(bounds core.Bounds, stats Stats) (Result, error) {
 			res.Node = cand[i].Clone()
 			res.Suppressed = o.suppressed
 			res.StopReason = lim.stopReason()
+			span.End()
 			res.Report = s.rec.Snapshot()
 			return res, nil
 		}
@@ -530,10 +538,12 @@ func (s *Incremental) repair(bounds core.Bounds, stats Stats) (Result, error) {
 			// changed-group set stays unconsumed; the next Republish
 			// re-verdicts and resumes the repair.
 			res.StopReason = lim.stopReason()
+			span.End()
 			res.Report = s.rec.Snapshot()
 			return res, nil
 		}
 	}
+	span.End()
 	return s.coldPublish()
 }
 

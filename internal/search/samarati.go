@@ -3,6 +3,7 @@ package search
 import (
 	"psk/internal/core"
 	"psk/internal/lattice"
+	"psk/internal/obs"
 	"psk/internal/table"
 )
 
@@ -34,11 +35,14 @@ import (
 // probed height are evaluated concurrently; the result is identical to
 // the serial search.
 func Samarati(im *table.Table, cfg Config) (Result, error) {
+	cfg.strategy = "samarati"
 	m, err := cfg.validate()
 	if err != nil {
 		return Result{}, err
 	}
 	var res Result
+	span := cfg.Recorder.StartSpan(obs.PhaseSearch, nil)
+	defer span.End()
 
 	bounds, err := searchBounds(im, cfg)
 	if err != nil {
@@ -48,12 +52,14 @@ func Samarati(im *table.Table, cfg Config) (Result, error) {
 		// First necessary condition: no masked microdata derived from im
 		// can be p-sensitive. Checked before touching the lattice.
 		res.Stats.PrunedCondition1 = 1
+		span.End()
 		res.Report = cfg.Recorder.Snapshot()
 		return res, nil
 	}
 
 	eval := newEvaluator(im, m, nil, cfg, bounds)
 	lat := m.Lattice()
+	cfg.Recorder.AddLatticeNodes(int64(lat.Size()))
 	low, high := 0, lat.Height()
 	var found *Result
 	for low < high {
@@ -91,10 +97,11 @@ func Samarati(im *table.Table, cfg Config) (Result, error) {
 			found = r
 		}
 	}
-	if err := attachFrontier(eval, lat, true, &res.Stats, &res.Frontier); err != nil {
+	if err := attachFrontier(eval, lat, true, &res.Stats, &res.Frontier, &span); err != nil {
 		return Result{}, err
 	}
 	res.StopReason = eval.lim.stopReason()
+	span.End()
 	if found == nil {
 		res.Report = cfg.Recorder.Snapshot()
 		return res, nil

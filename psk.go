@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"psk/internal/core"
 	"psk/internal/generalize"
@@ -13,6 +14,7 @@ import (
 	"psk/internal/mask"
 	"psk/internal/minisql"
 	"psk/internal/obs"
+	"psk/internal/obs/explain"
 	"psk/internal/risk"
 	"psk/internal/search"
 	"psk/internal/table"
@@ -750,8 +752,62 @@ func NewRecorder() *Recorder { return obs.NewRecorder() }
 // Flush when the search completes.
 func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
 
-// ReadTraceEvents parses a JSONL trace produced by a Tracer.
+// ReadTraceEvents parses a JSONL trace produced by a Tracer into a
+// slice. For traces that may not fit in memory, use ScanTraceEvents.
 func ReadTraceEvents(r io.Reader) ([]TraceEvent, error) { return obs.ReadEvents(r) }
+
+// ScanTraceEvents streams a JSONL trace through fn one event at a
+// time, in file order, without holding the trace in memory.
+func ScanTraceEvents(r io.Reader, fn func(TraceEvent) error) error {
+	return obs.ScanEvents(r, fn)
+}
+
+// Live observability re-exports: the in-flight view of a running
+// search. A Sampler snapshots Recorder deltas into a bounded ring of
+// timestamped Samples; an ObsServer serves /metrics, /progress,
+// /healthz and /debug/pprof over HTTP while the search runs; an Audit
+// explains a finished search from its trace and report.
+type (
+	// Sampler periodically snapshots a Recorder into a ring buffer of
+	// Samples; see NewSampler.
+	Sampler = obs.Sampler
+	// Sample is one timestamped snapshot of search rates and gauges.
+	Sample = obs.Sample
+	// Progress is the live in-flight view of a search (completion
+	// fraction, budget consumption, best-so-far node).
+	Progress = obs.Progress
+	// ObsServer is the stdlib-only HTTP debug server over a Recorder;
+	// see NewObsServer.
+	ObsServer = obs.Server
+	// Audit is the reconciled explain view of one search run: per-level
+	// prune attribution, budget timeline, efficiency summary. See
+	// ExplainTrace.
+	Audit = explain.Audit
+)
+
+// NewSampler builds a sampler over rec taking one sample per interval
+// (<= 0 defaults to 250ms) into a ring of capacity entries (<= 0
+// defaults to 512). Call Start to begin ticking and Stop before reading
+// a final consistent ring; a nil rec yields a nil, disabled sampler.
+func NewSampler(rec *Recorder, interval time.Duration, capacity int) *Sampler {
+	return obs.NewSampler(rec, interval, capacity)
+}
+
+// NewObsServer binds addr (":0" selects an ephemeral port — read Addr)
+// and serves the live observatory for rec: /metrics (the Report
+// snapshot), /progress (Progress plus the sampler's ring), /healthz and
+// /debug/pprof. sampler may be nil. Close the server when done.
+func NewObsServer(addr string, rec *Recorder, sampler *Sampler) (*ObsServer, error) {
+	return obs.NewServer(addr, rec, sampler)
+}
+
+// ExplainTrace streams a JSONL search trace into an Audit and, when rep
+// is non-nil, reconciles the trace's verdict totals exactly against the
+// report's node counters. The Audit's WriteText/WriteJSON render the
+// `pskanon -explain` output.
+func ExplainTrace(r io.Reader, rep *Report) (*Audit, error) {
+	return explain.FromReader(r, rep)
+}
 
 // Instrument wraps a policy tree so every leaf policy reports
 // per-evaluation telemetry to rec (see Report.Policies). The search

@@ -18,6 +18,10 @@ INCR_TOLERANCE ?= 0.50
 # The frontier benchmarks run full lattice passes over ~100k/1M rows at
 # low iteration counts, so they share the scale-tier gate.
 FRONTIER_TOLERANCE ?= 0.50
+# The serve benchmarks measure service-level latency over real HTTP
+# (round trips, poll intervals, scheduler noise), so they get the
+# loosest gate: the signal is the regime ratio, not the absolute ns/op.
+SERVE_TOLERANCE ?= 0.50
 FUZZTIME ?= 30s
 
 # Statement-coverage ratchet for `make cover`: set just below the
@@ -25,7 +29,7 @@ FUZZTIME ?= 30s
 # genuinely improves; never lower it to admit a regression.
 COVERAGE_FLOOR ?= 85.0
 
-.PHONY: check vet build test race bench bench-json bench-scale bench-incr bench-frontier bench-compare fuzz-smoke cover
+.PHONY: check vet build test race bench bench-json bench-scale bench-incr bench-frontier bench-serve bench-compare fuzz-smoke cover serve-smoke
 
 check: vet build race bench
 
@@ -94,6 +98,24 @@ bench-frontier:
 	$(GO) test -run '^$$' -bench '^BenchmarkFrontier$$' -benchmem -benchtime 3x . \
 		| $(GO) run ./cmd/benchjson > BENCH_frontier.json
 
+# bench-serve snapshots the service benchmark — end-to-end job latency
+# over real HTTP in the three result-cache regimes (cold search,
+# result-cache hit, coalesced identical burst) — into BENCH_serve.json,
+# the committed record that a cache hit answers without queueing and a
+# coalesced burst costs one search, not eight.
+bench-serve:
+	$(GO) test -run '^$$' -bench '^BenchmarkServe$$' -benchmem -benchtime 20x ./internal/serve \
+		| $(GO) run ./cmd/benchjson > BENCH_serve.json
+
+# serve-smoke is the end-to-end service gate the CI serve job runs:
+# the real pskserve entry point on an ephemeral port, driven over real
+# HTTP through verdict exit codes, single-flight dedup, queued-job
+# cancellation, per-job /metrics byte-identity with the embedded
+# report, and counter equality with a pskanon -metrics-json run of the
+# same inputs.
+serve-smoke:
+	$(GO) test -race -count=1 -run 'TestServeSmoke|TestExitCodeAgreement' -v ./internal/cli
+
 # bench-compare reruns the gauntlet benchmarks and fails when any
 # regresses its committed BENCH_*.json ns/op by more than
 # BENCH_TOLERANCE — the CI bench-regression job runs exactly this, so
@@ -112,6 +134,8 @@ bench-compare:
 		| $(GO) run ./cmd/benchjson -compare BENCH_incr.json -tolerance $(INCR_TOLERANCE)
 	$(GO) test -run '^$$' -bench '^BenchmarkFrontier$$' -benchmem -benchtime 3x . \
 		| $(GO) run ./cmd/benchjson -compare BENCH_frontier.json -tolerance $(FRONTIER_TOLERANCE)
+	$(GO) test -run '^$$' -bench '^BenchmarkServe$$' -benchmem -benchtime 20x ./internal/serve \
+		| $(GO) run ./cmd/benchjson -compare BENCH_serve.json -tolerance $(SERVE_TOLERANCE)
 
 # fuzz-smoke gives each native fuzz target FUZZTIME of coverage-guided
 # input generation on top of its committed seed corpus: the loaders
@@ -126,11 +150,22 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzApplyDelta$$' -fuzztime $(FUZZTIME) ./internal/search
 
 # cover measures statement coverage across the module and fails below
-# COVERAGE_FLOOR. The profile is left in coverage.out for inspection
-# (`go tool cover -html=coverage.out`).
+# COVERAGE_FLOOR. The test run writes to a temp profile that is always
+# cleaned up; whatever profile was produced — even on a failing run —
+# is published at COVERPROFILE, the explicit path the CI coverage job
+# uploads from (if: always()), so a red run still ships its profile
+# for inspection (`go tool cover -html=$(COVERPROFILE)`).
+COVERPROFILE ?= coverage.out
+
 cover:
-	$(GO) test -coverprofile=coverage.out -coverpkg=./... ./...
-	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	@tmp=$$(mktemp) || exit 1; \
+	trap 'rm -f "$$tmp"' EXIT; \
+	if ! $(GO) test -coverprofile="$$tmp" -coverpkg=./... ./...; then \
+		[ -s "$$tmp" ] && cp "$$tmp" $(COVERPROFILE); \
+		echo "cover: tests failed; partial profile at $(COVERPROFILE)"; exit 1; \
+	fi; \
+	cp "$$tmp" $(COVERPROFILE); \
+	total=$$($(GO) tool cover -func=$(COVERPROFILE) | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "total statement coverage: $$total% (floor $(COVERAGE_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVERAGE_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 		{ echo "coverage $$total% fell below the floor $(COVERAGE_FLOOR)%"; exit 1; }

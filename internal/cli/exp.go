@@ -15,7 +15,7 @@ import (
 // "all" runs them.
 var ExpNames = []string{"attack", "table3", "figure1", "figure2", "figure3",
 	"table4", "example1", "table7", "table8", "ablation", "utility", "methods", "decay", "policy",
-	"telemetry", "budget", "frontier", "observatory"}
+	"telemetry", "budget", "frontier", "observatory", "serve"}
 
 // Exp implements pskexp: regenerate the paper's tables and figures.
 func Exp(args []string, stdout, stderr io.Writer) error {
@@ -208,6 +208,13 @@ func Exp(args []string, stdout, stderr io.Writer) error {
 				return err
 			}
 			return emit("E20: live observatory", res.Format())
+		},
+		"serve": func() error {
+			res, err := experiments.RunServe()
+			if err != nil {
+				return err
+			}
+			return emit("E21: anonymization-as-a-service load study", res.Format())
 		},
 	}
 

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"psk/internal/serve/loadtest"
+)
+
+// E21: the service study — anonymization-as-a-service under
+// multi-tenant load. Two scenarios run against a fresh in-process
+// pskserve over real HTTP:
+//
+//   - dedup: hundreds of concurrent tenants submit a small mix of
+//     distinct jobs over one dataset; the harness verifies the
+//     single-flight invariant (at most one underlying search per
+//     distinct content key) and that every tenant of a variant reads
+//     byte-identical results.
+//   - backpressure: the same mix against a one-worker, tiny-queue
+//     server; the harness counts 429 rejections and verifies the
+//     accepted subset still satisfies both invariants.
+//
+// The numbers that matter are not latencies (scheduling noise) but the
+// counter identities: searches <= variants, accepted + rejected =
+// submitted, results consistent at every interleaving.
+type ServeResult struct {
+	// Dedup is the wide-queue scenario; Backpressure the tiny-queue one.
+	Dedup        *loadtest.Report
+	Backpressure *loadtest.Report
+}
+
+// RunServe executes the E21 service load study.
+func RunServe() (*ServeResult, error) {
+	dedup, err := loadtest.Run(loadtest.Config{
+		Tenants: 200, Requests: 3, Variants: 4, Rows: 240, Workers: 4,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dedup scenario: %w", err)
+	}
+	// One worker, a queue smaller than the burst, and per-request
+	// distinct configs (coalesced requests never occupy queue slots, so
+	// backpressure only bites on distinct keys). The report records how
+	// often 429 fired; the invariants must hold either way.
+	back, err := loadtest.Run(loadtest.Config{
+		Tenants: 64, Requests: 2, Distinct: true, Rows: 240, Queue: 8, Workers: 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("backpressure scenario: %w", err)
+	}
+	return &ServeResult{Dedup: dedup, Backpressure: back}, nil
+}
+
+// Format renders the result for the experiment harness.
+func (r *ServeResult) Format() string {
+	var b strings.Builder
+	b.WriteString("-- dedup: wide queue, 4 workers --\n")
+	b.WriteString(r.Dedup.Format())
+	b.WriteString("\n-- backpressure: queue=8, 1 worker --\n")
+	b.WriteString(r.Backpressure.Format())
+	ok := r.Dedup.SingleFlight && r.Dedup.ResultsConsistent &&
+		r.Backpressure.SingleFlight && r.Backpressure.ResultsConsistent
+	fmt.Fprintf(&b, "\ninvariants (single-flight, result consistency): %v\n", ok)
+	return b.String()
+}

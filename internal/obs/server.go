@@ -31,9 +31,14 @@ import (
 // immediately; Finalize freezes the /metrics payload; WaitScraped lets
 // a CLI linger until a scraper has read the final report; Close shuts
 // the listener down.
+//
+// A Server is also an http.Handler: NewHandler builds one without a
+// listener, which is how cmd/pskserve mounts the same endpoints —
+// per-job, under /v1/jobs/{id}/ — on the service's own mux.
 type Server struct {
 	rec     *Recorder
 	sampler *Sampler
+	mux     *http.ServeMux
 	ln      net.Listener
 	srv     *http.Server
 	start   time.Time
@@ -43,41 +48,66 @@ type Server struct {
 	scrapedOnce sync.Once
 }
 
+// NewHandler builds the observatory's endpoints over rec without
+// binding a listener; mount the returned Server on an external mux
+// (it implements http.Handler, routing /metrics, /progress, /healthz
+// and /debug/pprof relative to its mount point via http.StripPrefix).
+// rec may not be nil; sampler may be nil (then /progress carries no
+// samples). Finalize, Finalized and WaitScraped work exactly as on a
+// listening server; Close is a no-op.
+func NewHandler(rec *Recorder, sampler *Sampler) (*Server, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("obs: server requires a recorder")
+	}
+	s := &Server{
+		rec:     rec,
+		sampler: sampler,
+		start:   time.Now(),
+		scraped: make(chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/progress", s.handleProgress)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s, nil
+}
+
 // NewServer binds addr (e.g. "127.0.0.1:6060", ":0" for an ephemeral
 // port) and starts serving in a background goroutine. rec may not be
 // nil — a server without a recorder has nothing to say. sampler may be
 // nil (then /progress carries no samples).
 func NewServer(addr string, rec *Recorder, sampler *Sampler) (*Server, error) {
-	if rec == nil {
-		return nil, fmt.Errorf("obs: server requires a recorder")
+	s, err := NewHandler(rec, sampler)
+	if err != nil {
+		return nil, err
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &Server{
-		rec:     rec,
-		sampler: sampler,
-		ln:      ln,
-		start:   time.Now(),
-		scraped: make(chan struct{}),
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/progress", s.handleProgress)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s.srv = &http.Server{Handler: mux}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
 	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
 	return s, nil
 }
 
-// Addr returns the bound listen address (useful with ":0").
-func (s *Server) Addr() string { return s.ln.Addr().String() }
+// ServeHTTP routes a request through the observatory's mux, making a
+// Server mountable on an external http.ServeMux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Addr returns the bound listen address (useful with ":0"); empty for
+// a NewHandler server, which never listens.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
 
 // Finalize freezes the /metrics payload to rep — the exact report the
 // CLI wrote to -metrics-json, so a scrape after completion and the
@@ -108,8 +138,14 @@ func (s *Server) WaitScraped(timeout time.Duration) bool {
 }
 
 // Close shuts the listener down. In-flight handlers finish on their
-// own time; no new connections are accepted.
-func (s *Server) Close() error { return s.srv.Close() }
+// own time; no new connections are accepted. A NewHandler server has
+// no listener; Close is then a no-op.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
 
 func (s *Server) state() string {
 	if s.Finalized() {
@@ -124,7 +160,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if rep == nil {
 		rep = s.rec.Snapshot()
 	}
-	writeIndentedJSON(w, rep)
+	WriteJSON(w, rep)
 	if done {
 		s.scrapedOnce.Do(func() { close(s.scraped) })
 	}
@@ -144,7 +180,7 @@ type progressPayload struct {
 }
 
 func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
-	writeIndentedJSON(w, progressPayload{
+	WriteJSON(w, progressPayload{
 		State:            s.state(),
 		UptimeNs:         time.Since(s.start).Nanoseconds(),
 		Progress:         s.rec.Progress(),
@@ -155,13 +191,14 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeIndentedJSON(w, map[string]string{"status": "ok", "state": s.state()})
+	WriteJSON(w, map[string]string{"status": "ok", "state": s.state()})
 }
 
-// writeIndentedJSON mirrors the CLI's -metrics-json encoder settings
-// (two-space indent, trailing newline) so scrapes and files compare
-// byte for byte.
-func writeIndentedJSON(w http.ResponseWriter, v any) {
+// WriteJSON writes v with the CLI's -metrics-json encoder settings
+// (two-space indent, trailing newline) so scrapes, files and service
+// responses compare byte for byte. Exported for cmd/pskserve, whose
+// job-result payloads embed Reports under the same contract.
+func WriteJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

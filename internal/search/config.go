@@ -64,6 +64,17 @@ type Config struct {
 	// found nodes, masked tables and stats are identical at every
 	// worker count. DefaultWorkers() returns the GOMAXPROCS-sized pool.
 	Workers int
+	// Cache, when non-nil, is a pre-built generalized-column cache the
+	// search reuses instead of building its own — the sharing hook for
+	// services that run many concurrent searches over one dataset
+	// (cmd/pskserve keeps one cache per (dataset, hierarchy) pair, so a
+	// tenant's search finds the columns earlier tenants already
+	// generalized). The cache must have been built by a Masker over the
+	// same hierarchies as this config; it is ignored when its Source is
+	// not the searched table (Incognito's subset evaluators and the
+	// incremental session keep passing their own caches explicitly).
+	// Ignored with DisableCache.
+	Cache *generalize.Cache
 	// DisableCache turns off the per-level generalized-column cache and
 	// the single-pass suppression, restoring the pre-engine per-node
 	// evaluation cost (re-generalize every QI column per node, group
@@ -269,4 +280,3 @@ type Result struct {
 	// Config.Frontier.Enabled.
 	Frontier []FrontierEntry
 }
-

@@ -85,7 +85,11 @@ func newEvaluator(im *table.Table, m *generalize.Masker, cache *generalize.Cache
 // draw on one shared budget (Incognito's subset passes).
 func newLimitedEvaluator(im *table.Table, m *generalize.Masker, cache *generalize.Cache, cfg Config, bounds core.Bounds, lim *limiter) *evaluator {
 	if cache == nil && !cfg.DisableCache {
-		cache = m.NewCache(im)
+		if cfg.Cache != nil && cfg.Cache.Source() == im {
+			cache = cfg.Cache
+		} else {
+			cache = m.NewCache(im)
+		}
 	}
 	e := &evaluator{
 		im: im, m: m, cache: cache, qis: cfg.QIs, cfg: cfg, bounds: bounds,

@@ -1,0 +1,302 @@
+// Package loadtest is a deterministic load-generation harness for the
+// anonymization service: it drives an in-process serve.Server over real
+// HTTP with hundreds of concurrent tenants and verifies the invariants
+// that must hold at any interleaving — single-flight collapses the
+// request mix to at most one search per distinct content key, every
+// tenant of a variant reads the same result bytes, and rejected
+// submissions never reach the engine. Request contents are pure
+// functions of (tenant, request) indices, so two runs issue the same
+// mix; only scheduling differs.
+package loadtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"psk/internal/config"
+	"psk/internal/serve"
+)
+
+// Config sizes a load-test run. The zero value gets defaults suitable
+// for a CI gate (hundreds of requests, sub-second wall clock).
+type Config struct {
+	// Tenants is the number of concurrent clients. Default 100.
+	Tenants int
+	// Requests per tenant. Default 4.
+	Requests int
+	// Variants is the number of distinct job configurations in the mix;
+	// tenant t's request r uses variant (t+r) % Variants. Default 4.
+	Variants int
+	// Distinct gives every request its own variant (index t*Requests+r),
+	// defeating single-flight so the queue actually fills — the
+	// backpressure scenario. Variants is ignored.
+	Distinct bool
+	// Rows sizes the synthetic dataset every request carries. Default 240.
+	Rows int
+	// Queue / Workers size the server. Defaults: Tenants*Requests (no
+	// backpressure) / 4.
+	Queue   int
+	Workers int
+	// PollEvery is the job-status poll interval. Default 2ms.
+	PollEvery time.Duration
+}
+
+// Report is the outcome of a run: totals, the dedup counters read from
+// the service's /metrics, and the invariant checks' verdicts.
+type Report struct {
+	Tenants   int           `json:"tenants"`
+	Requests  int           `json:"requests_per_tenant"`
+	Variants  int           `json:"variants"`
+	Rows      int           `json:"rows"`
+	Submitted int           `json:"submitted"`
+	Accepted  int           `json:"accepted"`
+	Rejected  int           `json:"rejected_429"`
+	Searches  int64         `json:"searches"`
+	Coalesced int64         `json:"coalesced"`
+	CacheHits int64         `json:"cache_hits"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	// ResultsConsistent: every accepted job of a variant returned
+	// byte-identical result payloads.
+	ResultsConsistent bool `json:"results_consistent"`
+	// SingleFlight: the service ran at most one search per variant.
+	SingleFlight bool `json:"single_flight"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tenants <= 0 {
+		c.Tenants = 100
+	}
+	if c.Requests <= 0 {
+		c.Requests = 4
+	}
+	if c.Variants <= 0 {
+		c.Variants = 4
+	}
+	if c.Rows <= 0 {
+		c.Rows = 240
+	}
+	if c.Queue <= 0 {
+		c.Queue = c.Tenants * c.Requests
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.PollEvery <= 0 {
+		c.PollEvery = 2 * time.Millisecond
+	}
+	return c
+}
+
+// DatasetCSV builds the synthetic microdata every request carries: a
+// patients-shaped table whose values are pure functions of the row
+// index. Exported so the serve benchmarks reuse the same data.
+func DatasetCSV(rows int) string {
+	var b strings.Builder
+	b.WriteString("Age,ZipCode,Sex,Illness\n")
+	illnesses := [4]string{"Flu", "Asthma", "Diabetes", "Hypertension"}
+	sexes := [2]string{"M", "F"}
+	zips := [4]string{"41076", "41099", "43102", "43103"}
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, "%d,%s,%s,%s\n",
+			20+(i*7)%50, zips[(i/3)%4], sexes[i%2], illnesses[(i*5)%4])
+	}
+	return b.String()
+}
+
+// JobSpec builds the job description for one variant. Exported for the
+// serve benchmarks.
+func JobSpec(variant int) *config.Job {
+	raw := fmt.Sprintf(`{
+  "quasiIdentifiers": ["Age", "ZipCode", "Sex"],
+  "confidential": ["Illness"],
+  "k": %d, "p": %d, "maxSuppress": %d,
+  "types": {"Age": "int"},
+  "hierarchies": {
+    "Age":     {"type": "interval",
+                "levels": [{"name": "decades", "width": 10, "min": 20, "max": 70},
+                           {"cuts": [50], "labels": ["<50", ">=50"]},
+                           {"labels": ["*"]}]},
+    "ZipCode": {"type": "prefixSteps", "width": 5, "suppress": [2, 5]},
+    "Sex":     {"type": "flat", "top": "Person"}
+  }
+}`, 2+variant%3, 1+variant%2, 2+variant)
+	job, err := config.Parse([]byte(raw))
+	if err != nil {
+		panic("loadtest: bad variant spec: " + err.Error()) // pure function of variant; cannot fail
+	}
+	return job
+}
+
+// Run executes the load test against a fresh server and reports the
+// outcome. It returns an error only for harness failures (transport
+// errors, jobs that never finish); verdict-level findings land in the
+// Report so callers can render them.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	srv := serve.New(serve.Options{
+		QueueSize: cfg.Queue,
+		Workers:   cfg.Workers,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	return RunAgainst(cfg, ts.URL)
+}
+
+// RunAgainst executes the load test against an already-running service
+// at baseURL — the path `pskexp -exp serve` and the CI smoke gate use
+// to exercise the real binary over real sockets.
+func RunAgainst(cfg Config, baseURL string) (*Report, error) {
+	cfg = cfg.withDefaults()
+	nVariants := cfg.Variants
+	if cfg.Distinct {
+		nVariants = cfg.Tenants * cfg.Requests
+	}
+	csv := DatasetCSV(cfg.Rows)
+	requests := make([][]byte, nVariants)
+	for v := range requests {
+		raw, err := json.Marshal(serve.JobRequest{
+			Kind: serve.KindAnonymize, CSV: csv, Job: JobSpec(v),
+		})
+		if err != nil {
+			return nil, err
+		}
+		requests[v] = raw
+	}
+
+	rep := &Report{Tenants: cfg.Tenants, Requests: cfg.Requests, Variants: nVariants, Rows: cfg.Rows}
+	type submitted struct {
+		id      string
+		variant int
+	}
+	var (
+		mu   sync.Mutex
+		jobs []submitted
+		errs []error
+	)
+	client := &http.Client{Timeout: 30 * time.Second}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for t := 0; t < cfg.Tenants; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			for r := 0; r < cfg.Requests; r++ {
+				v := (t + r) % nVariants
+				if cfg.Distinct {
+					v = t*cfg.Requests + r
+				}
+				resp, err := client.Post(baseURL+"/v1/jobs", "application/json",
+					bytes.NewReader(requests[v]))
+				if err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+					return
+				}
+				var payload struct {
+					ID    string `json:"id"`
+					Error string `json:"error"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&payload)
+				resp.Body.Close()
+				mu.Lock()
+				rep.Submitted++
+				switch {
+				case err != nil:
+					errs = append(errs, err)
+				case resp.StatusCode == http.StatusAccepted:
+					rep.Accepted++
+					jobs = append(jobs, submitted{payload.ID, v})
+				case resp.StatusCode == http.StatusTooManyRequests:
+					rep.Rejected++
+				default:
+					errs = append(errs, fmt.Errorf("submit: status %d: %s", resp.StatusCode, payload.Error))
+				}
+				mu.Unlock()
+			}
+		}(t)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("load test: %d submit failures, first: %w", len(errs), errs[0])
+	}
+
+	// Poll every accepted job to completion and collect result bytes.
+	variantResult := make(map[int]string)
+	rep.ResultsConsistent = true
+	deadline := time.Now().Add(2 * time.Minute)
+	for _, j := range jobs {
+		for {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("load test: job %s did not finish", j.id)
+			}
+			resp, err := client.Get(baseURL + "/v1/jobs/" + j.id)
+			if err != nil {
+				return nil, err
+			}
+			var payload struct {
+				State  string          `json:"state"`
+				Result json.RawMessage `json:"result"`
+				Error  string          `json:"error"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&payload)
+			resp.Body.Close()
+			if err != nil {
+				return nil, err
+			}
+			if payload.State == "queued" || payload.State == "running" {
+				time.Sleep(cfg.PollEvery)
+				continue
+			}
+			if payload.State != "done" {
+				return nil, fmt.Errorf("load test: job %s ended %s: %s", j.id, payload.State, payload.Error)
+			}
+			if prior, ok := variantResult[j.variant]; !ok {
+				variantResult[j.variant] = string(payload.Result)
+			} else if prior != string(payload.Result) {
+				rep.ResultsConsistent = false
+			}
+			break
+		}
+	}
+	rep.Elapsed = time.Since(start)
+
+	// Read the dedup counters off the service.
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	var m serve.ServiceMetrics
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	rep.Searches = m.Counters["searches"]
+	rep.Coalesced = m.Counters["coalesced"]
+	rep.CacheHits = m.Counters["cache_hits"]
+	rep.SingleFlight = rep.Searches <= int64(nVariants)
+	return rep, nil
+}
+
+// Format renders the report as the experiment harness's text block.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tenants: %d x %d requests over %d variants (%d-row dataset)\n",
+		r.Tenants, r.Requests, r.Variants, r.Rows)
+	fmt.Fprintf(&b, "submitted: %d  accepted: %d  rejected(429): %d\n",
+		r.Submitted, r.Accepted, r.Rejected)
+	fmt.Fprintf(&b, "searches run: %d  coalesced: %d  cache hits: %d\n",
+		r.Searches, r.Coalesced, r.CacheHits)
+	fmt.Fprintf(&b, "single-flight (searches <= variants): %v\n", r.SingleFlight)
+	fmt.Fprintf(&b, "per-variant results byte-identical: %v\n", r.ResultsConsistent)
+	fmt.Fprintf(&b, "elapsed: %s\n", r.Elapsed.Round(time.Millisecond))
+	return b.String()
+}

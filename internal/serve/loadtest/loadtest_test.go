@@ -1,0 +1,74 @@
+package loadtest
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunDedup is a scaled-down version of the E21 dedup scenario: a
+// wide queue, a small tenant fleet, and the two invariants that must
+// hold at any interleaving.
+func TestRunDedup(t *testing.T) {
+	rep, err := Run(Config{Tenants: 16, Requests: 2, Variants: 3, Rows: 60, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submitted != 32 {
+		t.Errorf("submitted %d, want 32", rep.Submitted)
+	}
+	if rep.Accepted+rep.Rejected != rep.Submitted {
+		t.Errorf("accepted %d + rejected %d != submitted %d", rep.Accepted, rep.Rejected, rep.Submitted)
+	}
+	if rep.Rejected != 0 {
+		t.Errorf("wide queue rejected %d submissions", rep.Rejected)
+	}
+	if !rep.SingleFlight {
+		t.Errorf("single-flight violated: %d searches for %d variants", rep.Searches, rep.Variants)
+	}
+	if !rep.ResultsConsistent {
+		t.Error("per-variant results not byte-identical")
+	}
+	if rep.Searches <= 0 {
+		t.Errorf("no searches ran: %+v", rep)
+	}
+	if got := rep.Format(); !strings.Contains(got, "single-flight") {
+		t.Errorf("Format missing verdict lines:\n%s", got)
+	}
+}
+
+// TestRunBackpressure: distinct keys defeat coalescing, so a tiny
+// queue with one worker actually fills. Whether 429 fires depends on
+// scheduling; the invariants must hold either way and the totals must
+// balance.
+func TestRunBackpressure(t *testing.T) {
+	rep, err := Run(Config{Tenants: 12, Requests: 2, Distinct: true, Rows: 60, Queue: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Variants != 24 {
+		t.Errorf("distinct mode: variants %d, want 24", rep.Variants)
+	}
+	if rep.Accepted+rep.Rejected != rep.Submitted {
+		t.Errorf("accepted %d + rejected %d != submitted %d", rep.Accepted, rep.Rejected, rep.Submitted)
+	}
+	if !rep.SingleFlight || !rep.ResultsConsistent {
+		t.Errorf("invariants violated: %+v", rep)
+	}
+}
+
+// TestDeterministicInputs: the request mix is a pure function of the
+// indices, so two runs must generate identical payloads.
+func TestDeterministicInputs(t *testing.T) {
+	if DatasetCSV(50) != DatasetCSV(50) {
+		t.Error("DatasetCSV not deterministic")
+	}
+	if !strings.HasPrefix(DatasetCSV(3), "Age,ZipCode,Sex,Illness\n") {
+		t.Errorf("unexpected header: %q", DatasetCSV(3))
+	}
+	for v := 0; v < 8; v++ {
+		job := JobSpec(v)
+		if job.K < 2 || job.P < 1 || job.P > job.K {
+			t.Errorf("variant %d: invalid policy k=%d p=%d", v, job.K, job.P)
+		}
+	}
+}
